@@ -1,0 +1,113 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The expensive
+artefacts (training set, trained classifier, census report) are built once per
+pytest session and shared across benchmarks.
+
+The ``REPRO_SCALE`` environment variable controls the workload size:
+
+* ``small`` (default) -- shrunk sample counts so the whole suite runs in a few
+  minutes; percentages and shapes are stable because every server/condition is
+  an independent draw.
+* ``paper`` -- the paper's sample counts (5600 training vectors, a census of
+  thousands of servers). Expect hours of runtime in pure Python.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.classifier import CaaiClassifier
+from repro.core.training import TrainingSetBuilder
+from repro.ml.dataset import LabeledDataset
+from repro.net.conditions import default_condition_database
+from repro.web.population import PopulationConfig, ServerPopulation
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes used by the benchmark harness."""
+
+    name: str
+    training_conditions_per_pair: int
+    census_size: int
+    condition_database_size: int
+    forest_trees: int
+    cross_validation_folds: int
+
+
+SCALES = {
+    "small": Scale(name="small", training_conditions_per_pair=6, census_size=250,
+                   condition_database_size=1000, forest_trees=60,
+                   cross_validation_folds=5),
+    "medium": Scale(name="medium", training_conditions_per_pair=25, census_size=1500,
+                    condition_database_size=3000, forest_trees=80,
+                    cross_validation_folds=10),
+    "paper": Scale(name="paper", training_conditions_per_pair=100, census_size=63124,
+                   condition_database_size=5000, forest_trees=80,
+                   cross_validation_folds=10),
+}
+
+
+def current_scale() -> Scale:
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    if name not in SCALES:
+        raise ValueError(f"unknown REPRO_SCALE {name!r}; choose from {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@lru_cache(maxsize=1)
+def condition_database():
+    scale = current_scale()
+    return default_condition_database(size=scale.condition_database_size, seed=2010)
+
+
+@lru_cache(maxsize=1)
+def training_set() -> LabeledDataset:
+    scale = current_scale()
+    builder = TrainingSetBuilder(
+        conditions_per_pair=scale.training_conditions_per_pair,
+        seed=7,
+        condition_database=condition_database(),
+    )
+    return builder.build_dataset()
+
+
+@lru_cache(maxsize=1)
+def trained_classifier() -> CaaiClassifier:
+    scale = current_scale()
+    classifier = CaaiClassifier(n_trees=scale.forest_trees, seed=3)
+    classifier.train(training_set())
+    return classifier
+
+
+@lru_cache(maxsize=1)
+def census_population() -> ServerPopulation:
+    scale = current_scale()
+    population = ServerPopulation(PopulationConfig(size=scale.census_size, seed=2011),
+                                  condition_database=condition_database())
+    population.generate()
+    return population
+
+
+@lru_cache(maxsize=1)
+def census_report():
+    runner = CensusRunner(trained_classifier(), CensusConfig(seed=99))
+    return runner.run(census_population())
+
+
+def run_once(benchmark, function):
+    """Run a benchmark body exactly once (the workloads are deterministic)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,35 @@
+"""Section VII-B1: geography, server-software mix and the valid/invalid split."""
+
+from repro.analysis.tables import format_percentage_table
+
+from benchmarks.bench_common import census_population, census_report, print_header, run_once
+
+
+def build_summaries():
+    population = census_population()
+    report = census_report()
+    return population.software_shares(), population.region_shares(), report
+
+
+def test_sec7_server_information(benchmark):
+    software, regions, report = run_once(benchmark, build_summaries)
+    print_header("Section VII-B1 reproduction: server information")
+    print(format_percentage_table(
+        ["Software", "% of servers"],
+        [(name, [100 * share]) for name, share in sorted(software.items(), key=lambda kv: -kv[1])],
+        title="Server software"))
+    print()
+    print(format_percentage_table(
+        ["Region", "% of servers"],
+        [(name, [100 * share]) for name, share in sorted(regions.items(), key=lambda kv: -kv[1])],
+        title="Geography"))
+    print(f"\nValid-trace fraction: {100 * report.valid_fraction():.1f}% "
+          f"(paper: 47% of 63124 servers)")
+    print(f"Invalid reasons: "
+          f"{ {k: round(100 * v, 1) for k, v in report.invalid_reason_shares().items()} }")
+
+    # Shape checks straight from the paper's prose.
+    assert max(software, key=software.get) == "apache"
+    assert software["apache"] > 0.6
+    assert regions["europe"] > regions["north-america"] > regions["asia"] * 0.5
+    assert 0.2 < report.valid_fraction() < 0.95

@@ -1,0 +1,26 @@
+"""Table I: TCP algorithms available in major operating system families."""
+
+from repro.analysis.tables import format_table
+from repro.tcp.registry import algorithm_catalog
+
+from benchmarks.bench_common import print_header, run_once
+
+
+def build_table() -> str:
+    rows = []
+    for entry in algorithm_catalog():
+        rows.append([
+            entry.label,
+            "yes" if entry.windows_family else "-",
+            "yes" if entry.linux_family else "-",
+            ", ".join(entry.default_in) or "-",
+        ])
+    return format_table(["Algorithm", "Windows family", "Linux family", "Default in"],
+                        rows, title="Table I: TCP algorithms per OS family")
+
+
+def test_table1_algorithm_catalog(benchmark):
+    table = run_once(benchmark, build_table)
+    print_header("Table I reproduction")
+    print(table)
+    assert "CTCP" in table and "CUBIC" in table

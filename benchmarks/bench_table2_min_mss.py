@@ -1,0 +1,24 @@
+"""Table II: minimum segment sizes accepted by the probed Web servers."""
+
+from repro.analysis.tables import format_percentage_table
+
+from benchmarks.bench_common import census_population, print_header, run_once
+
+
+def build_table():
+    population = census_population()
+    shares = population.minimum_mss_shares()
+    rows = [(f"{mss} B", [100.0 * share]) for mss, share in sorted(shares.items())]
+    table = format_percentage_table(["Minimum MSS", "% of servers"], rows,
+                                    title="Table II: minimum segment sizes")
+    return table, shares
+
+
+def test_table2_minimum_mss(benchmark):
+    table, shares = run_once(benchmark, build_table)
+    print_header("Table II reproduction")
+    print(table)
+    # Shape check from the paper: most servers accept an MSS of 100 B and a
+    # non-trivial fraction requires something larger.
+    assert shares[100] > 0.6
+    assert sum(share for mss, share in shares.items() if mss > 100) > 0.05

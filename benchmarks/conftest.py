@@ -1,0 +1,9 @@
+"""Benchmark-harness pytest configuration."""
+
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).parent.parent
+for path in (_ROOT, _ROOT / "src"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))

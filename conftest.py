@@ -1,0 +1,16 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. in offline environments where ``pip install -e .`` cannot build).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+# Note: run the benchmark harness with ``-s`` (pytest benchmarks/
+# --benchmark-only -s) to see the reproduced tables and figure series each
+# benchmark prints; without it only the assertions and timings are reported.

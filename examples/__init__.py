@@ -1,0 +1,9 @@
+"""Runnable example applications for the CAAI reproduction.
+
+Each module has a ``main()`` entry point and can be executed directly:
+
+* ``quickstart.py`` -- the three CAAI steps against a single server.
+* ``internet_census.py`` -- the full census pipeline on a synthetic Internet.
+* ``trace_gallery.py`` -- Fig. 3 style window traces per algorithm.
+* ``packet_level_probe.py`` -- the packet-level probe mechanics of Fig. 5.
+"""

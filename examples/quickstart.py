@@ -1,0 +1,64 @@
+"""Quickstart: identify the TCP congestion avoidance algorithm of one server.
+
+This walks through the three CAAI steps end to end on the simulated substrate:
+
+1. build a (small) training set of feature vectors on the emulated testbed;
+2. train the random forest classifier;
+3. probe a server whose algorithm we pretend not to know, extract its feature
+   vector, and classify it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import CaaiClassifier
+from repro.core.features import FeatureExtractor
+from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import NetworkCondition, default_condition_database
+from repro.tcp.connection import SenderConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    print("Step 0: building a small training set (14 algorithms x 4 w_timeout values)...")
+    builder = TrainingSetBuilder(conditions_per_pair=4, seed=1,
+                                 condition_database=default_condition_database(500, 1))
+    training = builder.build_dataset()
+    print(f"  {len(training)} labelled feature vectors, classes: {training.classes()}")
+
+    print("\nStep 0b: training the random forest (80 trees, 4 features per node)...")
+    classifier = CaaiClassifier(n_trees=80, seed=2).train(training)
+
+    # The "remote Web server" -- in reality you would not know its algorithm.
+    secret_algorithm = "cubic-b"
+    server = SyntheticServer(secret_algorithm,
+                             lambda mss: SenderConfig(mss=mss, initial_window=3))
+    condition = NetworkCondition(average_rtt=0.12, rtt_std=0.01, loss_rate=0.005)
+
+    print("\nStep 1: gathering window traces in environments A and B (w_timeout=512)...")
+    gatherer = TraceGatherer(GatherConfig(w_timeout=512, mss=100))
+    probe = gatherer.gather_probe(server, condition, rng)
+    print(f"  environment A windows (post-timeout): "
+          f"{[round(w) for w in probe.trace_a.post_timeout]}")
+
+    print("\nStep 2: extracting the feature vector...")
+    vector = FeatureExtractor().extract(probe)
+    print(f"  beta_A={vector.beta_a:.2f}  g1_A={vector.growth_1_a:.1f}  "
+          f"g2_A={vector.growth_2_a:.1f}  beta_B={vector.beta_b:.2f}  "
+          f"reach64_B={vector.reach_b:.0f}")
+
+    print("\nStep 3: classifying with the random forest...")
+    identification = classifier.classify_probe(probe)
+    print(f"  identified as: {identification.label} "
+          f"(confidence {identification.confidence:.0%})")
+    print(f"  ground truth:  {secret_algorithm}")
+    assert identification.label == secret_algorithm
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The benchmark harness prints the reproduced tables in the same row/column
+structure as the paper; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width text table."""
+    columns = len(headers)
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != columns:
+            raise ValueError("all rows must have the same number of columns as headers")
+    widths = [len(str(header)) for header in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_percentage_table(headers: Sequence[str],
+                            rows: Sequence[tuple[str, Sequence[float]]],
+                            title: str | None = None,
+                            decimals: int = 2) -> str:
+    """Render a table whose numeric cells are percentages."""
+    formatted_rows = []
+    for label, values in rows:
+        formatted_rows.append([label] + [f"{value:.{decimals}f}" for value in values])
+    return format_table(headers, formatted_rows, title=title)
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,143 @@
+"""The Internet measurement campaign (Section VII-B of the paper).
+
+For every server in the (synthetic) population the census:
+
+1. runs the Web-page searching tool to find a long page on the server;
+2. negotiates the smallest MSS the server accepts from CAAI's ladder;
+3. probes the server, walking the ``w_timeout`` ladder 512 / 256 / 128 / 64
+   until a usable pair of traces is gathered;
+4. if no usable trace exists, records the reason (Section VII-B2);
+5. otherwise checks for the special trace cases of Section VII-B3 and, when
+   none applies, classifies the feature vector with the trained random
+   forest, reporting "unsure" when fewer than 40 % of the trees agree.
+
+The aggregated :class:`~repro.core.results.CensusReport` is the reproduction
+of Table IV plus the server-information summaries of Section VII-B1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classifier import CaaiClassifier
+from repro.core.gather import negotiate_probe_mss, probe_with_w_timeout_ladder
+from repro.core.labels import UNSURE
+from repro.core.results import CensusReport, ServerOutcome
+from repro.core.special_cases import detect_shape_case, detect_stalled_case
+from repro.core.trace import InvalidReason, ProbeTrace
+from repro.web.crawler import PageSearchTool
+from repro.web.population import ServerPopulation, ServerRecord
+
+
+@dataclass
+class CensusConfig:
+    """Parameters of a census run."""
+
+    seed: int = 42
+    #: Seconds CAAI waits between environments (slow start threshold caches).
+    wait_between_environments: float = 600.0
+    #: Crawl budget of the page searching tool.
+    crawler_page_budget: int = 120
+    #: Skip the crawler and request the default page directly (ablation).
+    use_page_search: bool = True
+
+
+@dataclass
+class CensusRunner:
+    """Runs the census against a server population."""
+
+    classifier: CaaiClassifier
+    config: CensusConfig = field(default_factory=CensusConfig)
+
+    def __post_init__(self) -> None:
+        if not self.classifier.is_trained:
+            raise ValueError("the census needs a trained classifier")
+
+    # ------------------------------------------------------------------ API
+    def run(self, population: ServerPopulation) -> CensusReport:
+        """Probe every server in the population and aggregate the outcomes."""
+        if not population.records:
+            population.generate()
+        rng = np.random.default_rng(self.config.seed)
+        report = CensusReport()
+        crawler = PageSearchTool(page_budget=self.config.crawler_page_budget)
+        for record in population.records:
+            report.add(self.measure_server(record, crawler, rng))
+        return report
+
+    def measure_server(self, record: ServerRecord, crawler: PageSearchTool,
+                       rng: np.random.Generator) -> ServerOutcome:
+        """Measure a single server: crawl, probe, categorise."""
+        server = record.server
+        profile = record.profile
+        outcome = ServerOutcome(
+            server_id=profile.server_id,
+            valid=False,
+            true_algorithm=profile.effective_algorithm(),
+            software=profile.software,
+            region=profile.region,
+        )
+
+        # Step 1: find a long page (Section IV-E).
+        if self.config.use_page_search:
+            crawl = crawler.search(server.site)
+            server.probe_path = crawl.best_path
+        else:
+            server.probe_path = server.site.default_path
+
+        # Step 2: MSS negotiation (Table II).
+        mss = negotiate_probe_mss(server)
+        if mss is None:
+            outcome.invalid_reason = InvalidReason.MSS_REJECTED
+            return outcome
+        outcome.mss = mss
+
+        # Step 3: probe with the w_timeout ladder.
+        probe = probe_with_w_timeout_ladder(
+            server, record.condition, rng, mss,
+            server_id=profile.server_id,
+            wait_between_environments=self.config.wait_between_environments)
+        if not probe.usable_for_features:
+            outcome.invalid_reason = self._invalid_reason(probe, profile)
+            return outcome
+
+        outcome.valid = True
+        outcome.w_timeout = probe.w_timeout
+
+        # Step 4: traces with no congestion-avoidance growth at all never
+        # occur on the testbed and are filtered out before classification.
+        special = detect_stalled_case(probe)
+        if special is not None:
+            outcome.special_case = special
+            outcome.category = special.value
+            return outcome
+
+        # Step 5: random forest classification with the confidence threshold.
+        identification = self.classifier.classify_probe(probe)
+        outcome.confidence = identification.confidence
+        if not identification.unsure:
+            outcome.category = identification.label
+            return outcome
+
+        # Step 6: an unconfident classification may still match one of the
+        # shape-based special cases (Approaching w_t, Bounded Window); if not,
+        # it is reported as "Unsure TCP" exactly like the paper.
+        shape = detect_shape_case(probe)
+        if shape is not None:
+            outcome.special_case = shape
+            outcome.category = shape.value
+        else:
+            outcome.category = UNSURE
+        return outcome
+
+    # ------------------------------------------------------------- internals
+    def _invalid_reason(self, probe: ProbeTrace, profile) -> InvalidReason:
+        reason = probe.invalid_reason or InvalidReason.INSUFFICIENT_DATA
+        if reason is InvalidReason.INSUFFICIENT_DATA and profile.max_pipelined_requests <= 3:
+            # The paper distinguishes "page too short" from "server accepts
+            # only one or a few pipelined requests"; the observable symptom is
+            # the same (the transfer stops early), so use the server property.
+            return InvalidReason.TOO_FEW_REQUESTS
+        return reason

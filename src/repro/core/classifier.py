@@ -1,0 +1,100 @@
+"""CAAI step 3: algorithm classification (Section VI of the paper).
+
+A random forest trained on testbed feature vectors assigns each measured
+feature vector to one of the TCP algorithm classes. The forest's vote fraction
+is reported as a confidence; identifications below a 40 % confidence are
+reported as "unsure" rather than forced into a class (Section VII-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor, FeatureVector
+from repro.core.labels import UNSURE
+from repro.core.trace import ProbeTrace
+from repro.ml.dataset import LabeledDataset
+from repro.ml.random_forest import (
+    PAPER_MAX_FEATURES,
+    PAPER_N_TREES,
+    RandomForestClassifier,
+)
+
+#: Minimum vote fraction for an identification to be reported (Section VII-B3).
+CONFIDENCE_THRESHOLD = 0.40
+
+
+@dataclass(frozen=True)
+class Identification:
+    """The outcome of classifying one probe."""
+
+    label: str
+    confidence: float
+    vector: FeatureVector
+    w_timeout: int
+    unsure: bool
+
+    @property
+    def reported_label(self) -> str:
+        return UNSURE if self.unsure else self.label
+
+
+@dataclass
+class CaaiClassifier:
+    """The CAAI classification pipeline: feature extraction plus random forest."""
+
+    n_trees: int = PAPER_N_TREES
+    max_features: int = PAPER_MAX_FEATURES
+    confidence_threshold: float = CONFIDENCE_THRESHOLD
+    seed: int = 0
+    extractor: FeatureExtractor = field(default_factory=FeatureExtractor)
+    _forest: RandomForestClassifier | None = field(default=None, init=False, repr=False)
+
+    # ------------------------------------------------------------------ train
+    def train(self, training_set: LabeledDataset) -> "CaaiClassifier":
+        """Fit the random forest on a labelled training set."""
+        forest = RandomForestClassifier(n_trees=self.n_trees,
+                                        max_features=self.max_features,
+                                        seed=self.seed)
+        forest.fit(training_set)
+        self._forest = forest
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return self._forest is not None
+
+    def classes(self) -> list[str]:
+        return self._require_forest().classes()
+
+    # --------------------------------------------------------------- classify
+    def classify_vector(self, vector: FeatureVector, w_timeout: int) -> Identification:
+        """Classify an already-extracted feature vector."""
+        result = self._require_forest().vote_one(vector.as_array())
+        unsure = result.confidence < self.confidence_threshold
+        return Identification(label=result.label, confidence=result.confidence,
+                              vector=vector, w_timeout=w_timeout, unsure=unsure)
+
+    def classify_probe(self, probe: ProbeTrace) -> Identification:
+        """Extract features from a probe and classify them."""
+        if not probe.usable_for_features:
+            raise ValueError("probe is not usable for classification; check "
+                             "probe.usable_for_features before calling")
+        vector = self.extractor.extract(probe)
+        return self.classify_vector(vector, probe.w_timeout)
+
+    def classify_many(self, vectors: list[FeatureVector],
+                      w_timeout: int) -> list[Identification]:
+        return [self.classify_vector(vector, w_timeout) for vector in vectors]
+
+    # ------------------------------------------------------------- internals
+    def _require_forest(self) -> RandomForestClassifier:
+        if self._forest is None:
+            raise RuntimeError("the classifier has not been trained; call train() first")
+        return self._forest
+
+    @property
+    def forest(self) -> RandomForestClassifier:
+        return self._require_forest()

@@ -1,0 +1,262 @@
+"""CAAI step 2: feature extraction (Section V of the paper).
+
+From a pair of window traces (environments A and B), CAAI extracts a
+seven-element feature vector:
+
+    (beta_A, g1_A, g2_A, beta_B, g1_B, g2_B, reach64_B)
+
+* ``beta`` is the multiplicative decrease parameter: the window at the
+  *boundary RTT* (where the post-timeout slow start ends) divided by the
+  window right before the timeout. It is clamped to [0.5, 2.0] and set to 0
+  when no boundary RTT can be found (e.g. WESTWOOD+, whose post-timeout
+  window never gets anywhere near the pre-timeout window).
+* ``g1`` and ``g2`` are window growth offsets after the boundary:
+  ``g1 = w_{b+3} - w_b`` (three rounds into congestion avoidance) and
+  ``g2 = w_n - w_b`` (the last round of the valid trace). Offsets are used
+  instead of absolute windows so that ``g1`` is essentially invariant to
+  ``w_timeout`` (it is always 3 for RENO), while ``g2`` retains a mild
+  dependence on ``w_timeout`` through the number of congestion-avoidance
+  rounds that fit into the 18 recorded rounds -- the property the paper notes
+  in Section V-C.
+* ``reach64_B`` is 0 when the largest window observed in environment B stays
+  below 64 packets (the VEGAS signature) and 1 otherwise.
+
+The boundary RTT search must tolerate lost ACKs: a lost ACK makes a slow start
+round grow by less than a factor of two. CAAI therefore first estimates an
+upper bound on the ACK loss rate from the early post-timeout rounds (Eq. (1) of
+the paper: sample mean plus a 95 % confidence interval, clamped to
+[0.15, 0.60]) and then accepts a round as "slow start" whenever its growth is
+at least ``(2 - loss)`` times the previous window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trace import ProbeTrace, WindowTrace
+
+#: Clamps on the estimated maximum ACK loss rate (Section V-A).
+MIN_ACK_LOSS = 0.15
+MAX_ACK_LOSS = 0.60
+#: Clamps on the extracted multiplicative decrease parameter (Section V-B).
+MIN_BETA = 0.5
+MAX_BETA = 2.0
+#: Number of consecutive non-slow-start rounds that define the boundary RTT.
+BOUNDARY_CONSECUTIVE_ROUNDS = 3
+#: Rounds after the boundary at which the first growth offset is measured.
+FIRST_GROWTH_OFFSET = 3
+#: Threshold on the environment-B maximum window for the ``reach64`` flag.
+REACH_THRESHOLD = 64.0
+#: Fraction of the pre-timeout window the post-timeout window must reach
+#: before the boundary search starts. The paper's equation for this starting
+#: point is garbled in the published text; 0.35 reproduces the documented
+#: behaviour for every algorithm (WESTWOOD+ never reaches it -> beta = 0,
+#: all others do). See DESIGN.md.
+BOUNDARY_SEARCH_START_FRACTION = 0.35
+#: Rounds whose window is below this fraction of the pre-timeout window are
+#: assumed to still be in slow start when estimating the ACK loss rate.
+ACK_LOSS_ESTIMATION_FRACTION = 0.25
+#: 95 % confidence multiplier used in Eq. (1).
+CONFIDENCE_Z = 1.96
+
+
+@dataclass(frozen=True)
+class TraceFeatures:
+    """Features extracted from a single window trace."""
+
+    beta: float
+    growth_1: float
+    growth_2: float
+    max_window: float
+    boundary_round: int | None
+    ack_loss_estimate: float
+
+    @property
+    def boundary_found(self) -> bool:
+        return self.boundary_round is not None
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """The seven-element feature vector of a Web server (Section V-D)."""
+
+    beta_a: float
+    growth_1_a: float
+    growth_2_a: float
+    beta_b: float
+    growth_1_b: float
+    growth_2_b: float
+    reach_b: float
+
+    #: Names of the vector elements, in array order.
+    ELEMENT_NAMES = ("beta_a", "g1_a", "g2_a", "beta_b", "g1_b", "g2_b", "reach_b")
+
+    def as_array(self) -> np.ndarray:
+        return np.array([
+            self.beta_a, self.growth_1_a, self.growth_2_a,
+            self.beta_b, self.growth_1_b, self.growth_2_b,
+            self.reach_b,
+        ], dtype=float)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "FeatureVector":
+        values = np.asarray(values, dtype=float)
+        if values.shape != (7,):
+            raise ValueError(f"a feature vector has 7 elements, got shape {values.shape}")
+        return cls(*[float(v) for v in values])
+
+    def __len__(self) -> int:
+        return 7
+
+
+class FeatureExtractor:
+    """Extracts CAAI feature vectors from probe traces."""
+
+    def __init__(self,
+                 boundary_search_start_fraction: float = BOUNDARY_SEARCH_START_FRACTION,
+                 first_growth_offset: int = FIRST_GROWTH_OFFSET,
+                 min_ack_loss: float = MIN_ACK_LOSS,
+                 max_ack_loss: float = MAX_ACK_LOSS):
+        if not 0.0 < boundary_search_start_fraction < 1.0:
+            raise ValueError("boundary_search_start_fraction must be in (0, 1)")
+        if first_growth_offset < 1:
+            raise ValueError("first_growth_offset must be at least one round")
+        self.boundary_search_start_fraction = boundary_search_start_fraction
+        self.first_growth_offset = first_growth_offset
+        self.min_ack_loss = min_ack_loss
+        self.max_ack_loss = max_ack_loss
+
+    # ------------------------------------------------------------------ API
+    def extract(self, probe: ProbeTrace) -> FeatureVector:
+        """Extract the seven-element feature vector from a probe."""
+        if not probe.trace_a.is_valid:
+            raise ValueError("feature extraction requires a valid environment-A trace")
+        features_a = self.extract_trace(probe.trace_a)
+        if probe.trace_b.is_valid:
+            features_b = self.extract_trace(probe.trace_b)
+            max_window_b = features_b.max_window
+        else:
+            # Environment B never reached the emulated timeout (e.g. VEGAS):
+            # the growth features are undefined and set to zero; the maximum
+            # window over whatever was observed still feeds the reach flag.
+            features_b = TraceFeatures(beta=0.0, growth_1=0.0, growth_2=0.0,
+                                       max_window=max(probe.trace_b.all_windows(),
+                                                      default=0.0),
+                                       boundary_round=None, ack_loss_estimate=0.0)
+            max_window_b = features_b.max_window
+        reach_b = 0.0 if max_window_b < REACH_THRESHOLD else 1.0
+        return FeatureVector(
+            beta_a=features_a.beta,
+            growth_1_a=features_a.growth_1,
+            growth_2_a=features_a.growth_2,
+            beta_b=features_b.beta,
+            growth_1_b=features_b.growth_1,
+            growth_2_b=features_b.growth_2,
+            reach_b=reach_b,
+        )
+
+    def extract_trace(self, trace: WindowTrace) -> TraceFeatures:
+        """Extract per-trace features (boundary RTT, beta, growth offsets)."""
+        if not trace.is_valid:
+            raise ValueError("cannot extract features from an invalid trace")
+        windows = list(trace.post_timeout)
+        w_loss = trace.w_loss
+        ack_loss = self.estimate_ack_loss(windows, w_loss)
+        boundary = self.find_boundary_round(windows, w_loss, ack_loss)
+        if boundary is None:
+            beta = 0.0
+            growth_1, growth_2 = self._growth_offsets_from(windows, None)
+        else:
+            beta = windows[boundary] / w_loss if w_loss > 0 else 0.0
+            beta = min(max(beta, MIN_BETA), MAX_BETA)
+            growth_1, growth_2 = self._growth_offsets_from(windows, boundary)
+        max_window = max(max(windows, default=0.0), w_loss if trace.pre_timeout else 0.0)
+        return TraceFeatures(beta=beta, growth_1=growth_1, growth_2=growth_2,
+                             max_window=max_window,
+                             boundary_round=boundary, ack_loss_estimate=ack_loss)
+
+    # ----------------------------------------------------------- ACK loss
+    def estimate_ack_loss(self, post_timeout_windows: list[float], w_loss: float) -> float:
+        """Estimate the maximum ACK loss rate, Eq. (1) of the paper.
+
+        During slow start each received ACK grows the window by one, so with
+        ``w_j`` ACKs sent in round ``j`` the next round's window should be
+        ``2 * w_j``; the shortfall estimates the number of lost ACKs.
+        """
+        samples: list[float] = []
+        ceiling = ACK_LOSS_ESTIMATION_FRACTION * w_loss
+        for j in range(len(post_timeout_windows) - 1):
+            w_j = post_timeout_windows[j]
+            w_next = post_timeout_windows[j + 1]
+            if w_j < 2.0 or w_j > ceiling:
+                continue
+            lost = max(0.0, 2.0 * w_j - w_next)
+            samples.append(min(lost / w_j, 1.0))
+        if not samples:
+            return self.min_ack_loss
+        mean = float(np.mean(samples))
+        if len(samples) > 1:
+            spread = CONFIDENCE_Z * float(np.std(samples, ddof=1)) / math.sqrt(len(samples))
+        else:
+            spread = 0.0
+        estimate = mean + spread
+        return min(max(estimate, self.min_ack_loss), self.max_ack_loss)
+
+    # ----------------------------------------------------------- boundary RTT
+    def find_boundary_round(self, post_timeout_windows: list[float], w_loss: float,
+                            ack_loss: float) -> int | None:
+        """Find the round at which the post-timeout slow start ends.
+
+        Starting from the first round whose window has reached a fraction of
+        the pre-timeout window, look for three consecutive rounds whose growth
+        falls short of one-per-ACK (accounting for the estimated ACK loss).
+        The first of those rounds is the boundary; if it still grew
+        substantially (it straddles the ssthresh crossing) the boundary is the
+        following round.
+        """
+        if w_loss <= 0:
+            return None
+        windows = post_timeout_windows
+        start_threshold = self.boundary_search_start_fraction * w_loss
+        growth_factor = 2.0 - ack_loss
+        start = None
+        for index, window in enumerate(windows):
+            if window >= start_threshold:
+                start = index
+                break
+        if start is None:
+            return None
+        for i in range(start, len(windows) - BOUNDARY_CONSECUTIVE_ROUNDS):
+            if all(not self._is_slow_start_round(windows, k, growth_factor)
+                   for k in range(i, i + BOUNDARY_CONSECUTIVE_ROUNDS)):
+                boundary = i
+                # If round i still grew noticeably it straddles the slow start
+                # threshold; the window of the next round is the threshold.
+                if windows[i] > 0 and i + 1 < len(windows) \
+                        and windows[i + 1] >= 1.15 * windows[i]:
+                    boundary = i + 1
+                return boundary
+        return None
+
+    @staticmethod
+    def _is_slow_start_round(windows: list[float], index: int, growth_factor: float) -> bool:
+        if index + 1 >= len(windows):
+            return False
+        w_i = windows[index]
+        if w_i <= 0:
+            return True
+        return windows[index + 1] >= growth_factor * w_i
+
+    # --------------------------------------------------------------- growth
+    def _growth_offsets_from(self, windows: list[float],
+                             boundary: int | None) -> tuple[float, float]:
+        if boundary is None:
+            return 0.0, 0.0
+        base = windows[boundary]
+        first_index = min(boundary + self.first_growth_offset, len(windows) - 1)
+        growth_1 = windows[first_index] - base
+        growth_2 = windows[-1] - base
+        return growth_1, growth_2

@@ -1,0 +1,330 @@
+"""CAAI step 1: trace gathering (round-level engine).
+
+This module drives a server's TCP sender through one emulated network
+environment and records the per-RTT window estimates, exactly following
+Section IV of the paper:
+
+* every data packet is acknowledged (non-delayed ACKs), with the emulated RTT
+  enforced by deferring the ACKs (subtask 1);
+* the window of round ``i`` is estimated from the highest sequence number
+  received in that round (subtask 2);
+* once the window exceeds ``w_timeout`` the prober goes silent, waits for the
+  server's retransmission timer, and then acknowledges everything received so
+  far on every subsequent packet (the emulated timeout);
+* for servers using F-RTO the prober first sends one duplicate ACK so the
+  server falls back to a conventional timeout recovery;
+* 18 post-timeout rounds make the trace valid (subtask 3).
+
+The engine works at round granularity: the only stochastic element of the
+path, ACK loss on the prober-to-server direction plus data-packet loss on the
+reverse direction, is applied per packet with the probe's
+:class:`~repro.net.conditions.NetworkCondition`. The packet-level alternative
+(full discrete-event simulation including delay jitter) lives in
+:mod:`repro.core.prober`; integration tests check the two agree on loss-free
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.environments import (
+    DEFAULT_ENVIRONMENTS,
+    NetworkEnvironment,
+    VALID_TRACE_ROUNDS_AFTER_TIMEOUT,
+    W_TIMEOUT_LADDER,
+)
+from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
+from repro.net.conditions import NetworkCondition
+from repro.tcp.connection import TcpSender
+from repro.tcp.options import CAAI_MSS_LADDER
+from repro.tcp.packet import Segment
+
+
+class ProbeableServer(Protocol):
+    """What the trace gatherer needs to know about a server.
+
+    :class:`repro.web.server.WebServer` implements this protocol for the
+    census; :class:`SyntheticServer` below is the light-weight implementation
+    used when building training sets.
+    """
+
+    def accepts_mss(self, mss: int) -> bool:
+        """Whether the server accepts a connection with the given MSS."""
+
+    def uses_frto(self) -> bool:
+        """Whether the server runs F-RTO (needs the duplicate-ACK workaround)."""
+
+    def open_connection(self, mss: int, now: float, requested_bytes: int) -> TcpSender | None:
+        """Open a connection and return a sender loaded with response data.
+
+        ``requested_bytes`` is how much data CAAI would like to transfer
+        (enough for the whole probe); the server may load less if its pages
+        are short or it ignores pipelined requests. ``None`` means the
+        connection could not be established.
+        """
+
+
+@dataclass
+class SyntheticServer:
+    """Minimal :class:`ProbeableServer` wrapping a sender factory.
+
+    Used by the training-set builder (Section VII-A), where the "server" is a
+    testbed machine with a known TCP algorithm and effectively unlimited data.
+    """
+
+    algorithm_name: str
+    sender_config_factory: "callable"
+    minimum_mss: int = 100
+    available_bytes: int | None = None
+    frto: bool = False
+    cached_ssthresh: float | None = None
+
+    def accepts_mss(self, mss: int) -> bool:
+        return mss >= self.minimum_mss
+
+    def uses_frto(self) -> bool:
+        return self.frto
+
+    def open_connection(self, mss: int, now: float, requested_bytes: int) -> TcpSender | None:
+        if not self.accepts_mss(mss):
+            return None
+        from repro.tcp.registry import create_algorithm
+
+        config = self.sender_config_factory(mss)
+        if self.cached_ssthresh is not None:
+            config.initial_ssthresh = self.cached_ssthresh
+        sender = TcpSender(create_algorithm(self.algorithm_name), config)
+        available = requested_bytes if self.available_bytes is None else min(
+            requested_bytes, self.available_bytes)
+        sender.enqueue_bytes(available)
+        return sender
+
+
+@dataclass
+class GatherConfig:
+    """Parameters of one trace-gathering run."""
+
+    w_timeout: int = 512
+    mss: int = 100
+    rounds_after_timeout: int = VALID_TRACE_ROUNDS_AFTER_TIMEOUT
+    #: Safety bound on the slow start phase; 512-packet windows need ~10 rounds.
+    max_pre_timeout_rounds: int = 40
+    #: Seconds CAAI waits between environments A and B for servers that cache
+    #: the slow start threshold (Section IV-C recommends about 10 minutes).
+    wait_between_environments: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.w_timeout <= 0:
+            raise ValueError("w_timeout must be positive")
+        if self.mss <= 0:
+            raise ValueError("MSS must be positive")
+        if self.rounds_after_timeout <= 0:
+            raise ValueError("rounds_after_timeout must be positive")
+
+    def required_bytes(self) -> int:
+        """Upper bound on the data a full probe can consume (Section IV-E).
+
+        Before the timeout the window roughly doubles every round up to twice
+        ``w_timeout``; after the timeout at most 18 rounds of at most twice
+        ``w_timeout`` packets each can be transferred.
+        """
+        pre = 4 * self.w_timeout
+        post = 2 * self.w_timeout * self.rounds_after_timeout
+        return (pre + post) * self.mss
+
+
+class TraceGatherer:
+    """Gathers window traces of a server in CAAI's emulated environments."""
+
+    def __init__(self, config: GatherConfig | None = None,
+                 environments: tuple[NetworkEnvironment, ...] = DEFAULT_ENVIRONMENTS):
+        self.config = config or GatherConfig()
+        self.environments = environments
+
+    # ------------------------------------------------------------------ API
+    def gather_probe(self, server: ProbeableServer, condition: NetworkCondition,
+                     rng: np.random.Generator, server_id: str | None = None) -> ProbeTrace:
+        """Probe a server in both environments and return the pair of traces."""
+        start_time = 0.0
+        traces = []
+        for environment in self.environments:
+            trace = self.gather_trace(server, environment, condition, rng,
+                                      start_time=start_time)
+            traces.append(trace)
+            # Leave time for slow start threshold caches to expire before the
+            # next environment, as CAAI does (Section IV-C).
+            start_time += self.config.wait_between_environments
+        trace_a, trace_b = traces
+        return ProbeTrace(trace_a=trace_a, trace_b=trace_b,
+                          w_timeout=self.config.w_timeout, mss=self.config.mss,
+                          server_id=server_id)
+
+    def gather_trace(self, server: ProbeableServer, environment: NetworkEnvironment,
+                     condition: NetworkCondition, rng: np.random.Generator,
+                     start_time: float = 0.0) -> WindowTrace:
+        """Gather one window trace in one environment."""
+        config = self.config
+        if not server.accepts_mss(config.mss):
+            return WindowTrace.invalid(environment.name, config.w_timeout,
+                                       config.mss, InvalidReason.MSS_REJECTED)
+        sender = server.open_connection(config.mss, start_time, config.required_bytes())
+        if sender is None:
+            return WindowTrace.invalid(environment.name, config.w_timeout,
+                                       config.mss, InvalidReason.CONNECTION_FAILED)
+        return self._run_probe(sender, server, environment, condition, rng, start_time)
+
+    # ------------------------------------------------------------- internals
+    def _run_probe(self, sender: TcpSender, server: ProbeableServer,
+                   environment: NetworkEnvironment, condition: NetworkCondition,
+                   rng: np.random.Generator, start_time: float) -> WindowTrace:
+        config = self.config
+        trace = WindowTrace(environment=environment.name, w_timeout=config.w_timeout,
+                            mss=config.mss,
+                            required_post_rounds=config.rounds_after_timeout)
+        now = start_time
+        segments = sender.start(now)
+        highest_end = 0
+        highest_prev = 0
+
+        # ---- pre-timeout phase: slow start up to the emulated timeout ------
+        timed_out = False
+        for round_index in range(config.max_pre_timeout_rounds):
+            received = self._deliver_data(segments, condition, rng)
+            if not received:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+            highest_end = max(highest_end, max(seg.end_seq for seg in received))
+            window = self._window_estimate(received, highest_end, highest_prev)
+            highest_prev = highest_end
+            trace.pre_timeout.append(window)
+            now += environment.rtt_before_timeout(round_index)
+            if window > config.w_timeout:
+                timed_out = True
+                break
+            segments, lost_acks = self._acknowledge(sender, received, condition,
+                                                    rng, now, highest_end)
+            trace.ack_loss_events += lost_acks
+            if not segments:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+        if not timed_out:
+            trace.invalid_reason = InvalidReason.WINDOW_BELOW_W_TIMEOUT
+            return trace
+
+        # ---- the emulated timeout ------------------------------------------
+        deadline = sender.next_timer_deadline()
+        if deadline is None:
+            trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
+            return trace
+        now = max(now, deadline)
+        segments = sender.on_timer(now)
+        if not segments:
+            trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
+            return trace
+        if server.uses_frto():
+            # One duplicate ACK makes an F-RTO server fall back to the
+            # conventional timeout recovery (Section IV-C).
+            sender.on_ack(highest_prev, now, is_duplicate=True)
+
+        # ---- post-timeout phase: 18 rounds of window estimates --------------
+        for post_index in range(config.rounds_after_timeout):
+            if not segments:
+                # The server went quiet. If it still has unacknowledged data
+                # its retransmission timer will eventually fire (e.g. the ACKs
+                # of a whole round were lost); otherwise it ran out of data
+                # and the trace cannot reach 18 post-timeout rounds.
+                deadline = sender.next_timer_deadline()
+                if deadline is not None and not sender.all_data_acked():
+                    now = max(now, deadline)
+                    segments = sender.on_timer(now)
+            received = self._deliver_data(segments, condition, rng)
+            if not segments:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+            if received:
+                highest_end = max(highest_end, max(seg.end_seq for seg in received))
+                window = self._window_estimate(received, highest_end, highest_prev)
+                highest_prev = highest_end
+            else:
+                window = 0.0
+            trace.post_timeout.append(window)
+            now += environment.rtt_after_timeout(post_index)
+            segments, lost_acks = self._acknowledge(sender, received, condition,
+                                                    rng, now, highest_end)
+            trace.ack_loss_events += lost_acks
+        return trace
+
+    def _deliver_data(self, segments: list[Segment], condition: NetworkCondition,
+                      rng: np.random.Generator) -> list[Segment]:
+        """Apply data-direction loss; CAAI sees only the surviving packets."""
+        if condition.loss_rate <= 0.0 or not segments:
+            return list(segments)
+        survivors = [seg for seg in segments if rng.random() >= condition.loss_rate]
+        return survivors
+
+    def _window_estimate(self, received: list[Segment], highest_end: int,
+                         highest_prev: int) -> float:
+        """Estimate the round's window from the highest received sequence number.
+
+        The retransmission round after the timeout repeats old sequence
+        numbers, so the sequence-based estimate would be zero; CAAI falls back
+        to counting packets there (the value is not used by feature
+        extraction, which only looks at relative growth later in the trace).
+        """
+        by_sequence = (highest_end - highest_prev) / self.config.mss
+        if by_sequence <= 0:
+            return float(len(received))
+        return float(by_sequence)
+
+    def _acknowledge(self, sender: TcpSender, received: list[Segment],
+                     condition: NetworkCondition, rng: np.random.Generator,
+                     now: float, highest_end: int) -> tuple[list[Segment], int]:
+        """Send one cumulative ACK per received data packet, subject to ACK loss."""
+        next_round: list[Segment] = []
+        lost = 0
+        cumulative = 0
+        for segment in sorted(received, key=lambda seg: seg.end_seq):
+            cumulative = max(cumulative, segment.end_seq, highest_end if segment.is_retransmission else 0)
+            if condition.loss_rate > 0.0 and rng.random() < condition.loss_rate:
+                lost += 1
+                continue
+            next_round.extend(sender.on_ack(cumulative, now))
+        return next_round, lost
+
+
+def probe_with_w_timeout_ladder(server: ProbeableServer, condition: NetworkCondition,
+                                rng: np.random.Generator, mss: int,
+                                ladder: tuple[int, ...] = W_TIMEOUT_LADDER,
+                                server_id: str | None = None,
+                                wait_between_environments: float = 600.0) -> ProbeTrace:
+    """Probe a server, lowering ``w_timeout`` until a valid trace is obtained.
+
+    CAAI tries ``w_timeout`` of 512, 256, 128 and finally 64 packets
+    (Section IV-B); the first value that yields valid traces in both
+    environments wins. The last attempt is returned even if invalid so that
+    the census can categorise the failure.
+    """
+    last_probe: ProbeTrace | None = None
+    for w_timeout in ladder:
+        gatherer = TraceGatherer(GatherConfig(
+            w_timeout=w_timeout, mss=mss,
+            wait_between_environments=wait_between_environments))
+        probe = gatherer.gather_probe(server, condition, rng, server_id=server_id)
+        last_probe = probe
+        if probe.usable_for_features:
+            return probe
+    assert last_probe is not None
+    return last_probe
+
+
+def negotiate_probe_mss(server: ProbeableServer,
+                        ladder: tuple[int, ...] = CAAI_MSS_LADDER) -> int | None:
+    """Find the smallest MSS in CAAI's ladder that the server accepts."""
+    for mss in ladder:
+        if server.accepts_mss(mss):
+            return mss
+    return None

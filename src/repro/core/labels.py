@@ -1,0 +1,57 @@
+"""Label conventions used by the CAAI classifier and the census.
+
+The paper cannot distinguish RENO, CTCP-a and CTCP-b when the probe only
+reaches a ``w_timeout`` of 64 or 128 packets, because Compound TCP is designed
+to behave exactly like RENO at small windows (Section VII-A2). Probes with a
+small ``w_timeout`` therefore carry the merged label ``rc-small``; probes with
+a large ``w_timeout`` keep the individual labels, reported by the paper as
+"RENO-big", "CTCP-a-big" and "CTCP-b-big".
+"""
+
+from __future__ import annotations
+
+#: The merged small-window class.
+RC_SMALL = "rc-small"
+#: Label used when the random forest's confidence falls below the threshold.
+UNSURE = "unsure"
+
+#: Algorithms affected by the small-window merge.
+RC_MERGED_ALGORITHMS: tuple[str, ...] = ("reno", "ctcp-a", "ctcp-b")
+#: ``w_timeout`` values at which the merge applies (Section VII-A2).
+SMALL_W_TIMEOUTS: tuple[int, ...] = (64, 128)
+#: ``w_timeout`` values at which RENO and the CTCP versions stay separable.
+BIG_W_TIMEOUTS: tuple[int, ...] = (256, 512)
+
+
+def training_label(algorithm: str, w_timeout: int) -> str:
+    """The class label of a training vector for ``algorithm`` at ``w_timeout``."""
+    if algorithm in RC_MERGED_ALGORITHMS and w_timeout in SMALL_W_TIMEOUTS:
+        return RC_SMALL
+    return algorithm
+
+
+def presentation_label(label: str, w_timeout: int | None = None) -> str:
+    """Human-readable label used in census tables (the paper's "-big" suffix)."""
+    if label in RC_MERGED_ALGORITHMS:
+        return f"{label.upper()}-big"
+    if label == RC_SMALL:
+        return "RC-small"
+    if label == UNSURE:
+        return "Unsure TCP"
+    return label.upper()
+
+
+def classification_classes(w_timeout: int, identifiable: tuple[str, ...]) -> list[str]:
+    """The set of class labels a probe at ``w_timeout`` can be assigned."""
+    labels = []
+    for algorithm in identifiable:
+        labels.append(training_label(algorithm, w_timeout))
+    # Deduplicate while preserving order (the three merged algorithms all map
+    # to rc-small for small w_timeout).
+    seen: set[str] = set()
+    ordered = []
+    for label in labels:
+        if label not in seen:
+            seen.add(label)
+            ordered.append(label)
+    return ordered

@@ -1,0 +1,177 @@
+"""Census result containers and aggregation (the structure of Table IV).
+
+Table IV of the paper reports, per ``w_timeout`` column and overall, the
+percentage of Web servers identified as each TCP algorithm, the special-case
+categories, and the "unsure" bucket; Section VII-B2 additionally reports the
+fraction of servers for which no valid trace could be gathered and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import presentation_label
+from repro.core.special_cases import SpecialCase, special_case_label
+from repro.core.trace import InvalidReason
+
+
+@dataclass
+class ServerOutcome:
+    """The census outcome for one server."""
+
+    server_id: str
+    valid: bool
+    w_timeout: int | None = None
+    mss: int | None = None
+    category: str | None = None          # algorithm label, special case, or "unsure"
+    confidence: float | None = None
+    invalid_reason: InvalidReason | None = None
+    special_case: SpecialCase | None = None
+    true_algorithm: str | None = None    # ground truth (available only in simulation)
+    software: str | None = None
+    region: str | None = None
+
+    @property
+    def is_special_case(self) -> bool:
+        return self.special_case is not None
+
+
+@dataclass
+class CensusReport:
+    """Aggregated census results."""
+
+    outcomes: list[ServerOutcome] = field(default_factory=list)
+
+    def add(self, outcome: ServerOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    # ------------------------------------------------------------- totals
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def valid_outcomes(self) -> list[ServerOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.valid]
+
+    @property
+    def invalid_outcomes(self) -> list[ServerOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.valid]
+
+    def valid_fraction(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return len(self.valid_outcomes) / len(self.outcomes)
+
+    # -------------------------------------------------------- Table IV view
+    def w_timeout_values(self) -> list[int]:
+        values = sorted({outcome.w_timeout for outcome in self.valid_outcomes
+                         if outcome.w_timeout is not None}, reverse=True)
+        return values
+
+    def w_timeout_shares(self) -> dict[int, float]:
+        """Fraction of valid servers whose probe succeeded at each w_timeout."""
+        valid = self.valid_outcomes
+        if not valid:
+            return {}
+        shares: dict[int, float] = {}
+        for w_timeout in self.w_timeout_values():
+            count = sum(1 for outcome in valid if outcome.w_timeout == w_timeout)
+            shares[w_timeout] = count / len(valid)
+        return shares
+
+    def categories(self) -> list[str]:
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for outcome in self.valid_outcomes:
+            if outcome.category and outcome.category not in seen:
+                seen.add(outcome.category)
+                ordered.append(outcome.category)
+        return sorted(ordered)
+
+    def category_percentages(self, w_timeout: int | None = None) -> dict[str, float]:
+        """Percentage of valid servers per category (one Table IV column).
+
+        ``w_timeout=None`` gives the overall column; otherwise only servers
+        whose probe succeeded at that ``w_timeout`` are counted, as in the
+        paper's per-column breakdown (percentages are still relative to all
+        valid servers, so the columns of Table IV sum to the column share).
+        """
+        valid = self.valid_outcomes
+        if not valid:
+            return {}
+        counts: dict[str, int] = {}
+        for outcome in valid:
+            if w_timeout is not None and outcome.w_timeout != w_timeout:
+                continue
+            category = outcome.category or "unsure"
+            counts[category] = counts.get(category, 0) + 1
+        return {category: 100.0 * count / len(valid)
+                for category, count in sorted(counts.items())}
+
+    def invalid_reason_shares(self) -> dict[str, float]:
+        invalid = self.invalid_outcomes
+        if not invalid:
+            return {}
+        counts: dict[str, int] = {}
+        for outcome in invalid:
+            reason = outcome.invalid_reason.value if outcome.invalid_reason else "unknown"
+            counts[reason] = counts.get(reason, 0) + 1
+        return {reason: count / len(invalid) for reason, count in sorted(counts.items())}
+
+    # ---------------------------------------------------------- conclusions
+    def reno_share_bounds(self) -> tuple[float, float]:
+        """Lower and upper bound on the RENO share among valid servers.
+
+        The paper reports a range because RC-small probes cannot separate
+        RENO from CTCP: the lower bound counts only RENO-big, the upper bound
+        adds the whole RC-small bucket.
+        """
+        percentages = self.category_percentages()
+        reno_big = percentages.get("reno", 0.0)
+        rc_small = percentages.get("rc-small", 0.0)
+        return reno_big, reno_big + rc_small
+
+    def bic_cubic_share(self) -> float:
+        percentages = self.category_percentages()
+        return sum(percentages.get(name, 0.0) for name in ("bic", "cubic-a", "cubic-b"))
+
+    def ctcp_share(self) -> float:
+        percentages = self.category_percentages()
+        return sum(percentages.get(name, 0.0) for name in ("ctcp-a", "ctcp-b"))
+
+    def accuracy_against_ground_truth(self) -> float:
+        """Fraction of classified servers whose label matches the ground truth.
+
+        Only meaningful in simulation, where the deployed algorithm is known.
+        Servers that land in special-case, unsure or RC-small buckets are
+        excluded, mirroring how the paper could only validate on its testbed.
+        """
+        comparable = [outcome for outcome in self.valid_outcomes
+                      if outcome.true_algorithm and outcome.category
+                      and outcome.category not in ("unsure", "rc-small")
+                      and outcome.special_case is None]
+        if not comparable:
+            return 0.0
+        correct = sum(1 for outcome in comparable
+                      if outcome.category == outcome.true_algorithm)
+        return correct / len(comparable)
+
+    # ------------------------------------------------------------- rendering
+    def table_rows(self) -> list[tuple[str, dict[int, float], float]]:
+        """Rows of Table IV: (label, per-w_timeout percentages, overall)."""
+        rows = []
+        w_values = self.w_timeout_values()
+        overall = self.category_percentages()
+        per_w = {w: self.category_percentages(w) for w in w_values}
+        for category in sorted(overall, key=lambda c: -overall[c]):
+            label = _category_presentation(category)
+            row = {w: per_w[w].get(category, 0.0) for w in w_values}
+            rows.append((label, row, overall[category]))
+        return rows
+
+
+def _category_presentation(category: str) -> str:
+    for case in SpecialCase:
+        if category == case.value:
+            return special_case_label(case)
+    return presentation_label(category)

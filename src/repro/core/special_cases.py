@@ -1,0 +1,177 @@
+"""Detection of the special valid-trace cases (Section VII-B3, Figs. 14-17).
+
+The Internet census surfaced four kinds of valid traces that the testbed never
+produced and that should not be pushed through the classifier:
+
+* **Remaining at 1 Packet** -- after the timeout the window stays at one
+  packet for a very long time (Fig. 14).
+* **Nonincreasing Window** -- the window never grows during congestion
+  avoidance (Fig. 15).
+* **Approaching w_timeout** -- the window grows quickly at first and then
+  creeps asymptotically towards the pre-timeout window (Fig. 16).
+* **Bounded Window** -- the window grows past ``w_timeout`` but is then capped
+  by something like the server's send buffer (Fig. 17).
+
+The detectors below work on the post-timeout part of the environment-A trace,
+the same data the paper's authors inspected manually.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.trace import ProbeTrace, WindowTrace
+
+
+class SpecialCase(enum.Enum):
+    """The four special valid-trace categories of Table IV."""
+
+    REMAINING_AT_ONE = "remaining_at_1_packet"
+    NONINCREASING = "nonincreasing_window"
+    APPROACHING = "approaching_w_timeout"
+    BOUNDED = "bounded_window"
+
+
+#: Window value below which a post-timeout trace counts as "stuck at one".
+_REMAINING_CEILING = 2.0
+#: Relative tolerance used when testing whether the window stopped growing.
+_FLAT_TOLERANCE = 0.01
+#: Number of trailing rounds that must be flat for the bounded/nonincreasing cases.
+_FLAT_ROUNDS = 6
+
+
+def detect_special_case(probe: ProbeTrace) -> SpecialCase | None:
+    """Categorise a probe, or return ``None`` if it looks like a normal trace."""
+    return detect_special_case_in_trace(probe.trace_a)
+
+
+def detect_stalled_case(probe: ProbeTrace) -> SpecialCase | None:
+    """Detect the unambiguous cases checked *before* classification.
+
+    "Remaining at 1 Packet" and "Nonincreasing Window" involve a complete
+    absence of congestion-avoidance growth, which no algorithm in the training
+    set produces; they are filtered out before the probe reaches the random
+    forest, as the paper does with its manually identified special traces.
+    """
+    trace = probe.trace_a
+    if not trace.is_valid:
+        return None
+    windows = np.asarray(trace.post_timeout, dtype=float)
+    if len(windows) < _FLAT_ROUNDS:
+        return None
+    if _is_remaining_at_one(windows):
+        return SpecialCase.REMAINING_AT_ONE
+    if _is_nonincreasing(windows, trace.w_timeout):
+        return SpecialCase.NONINCREASING
+    return None
+
+
+def detect_shape_case(probe: ProbeTrace) -> SpecialCase | None:
+    """Detect the shape-based cases checked *after* an unsure classification.
+
+    "Approaching w_t" and "Bounded Window" resemble the plateaus of CUBIC and
+    BIC closely enough that an automated detector cannot reliably separate
+    them from genuine algorithm behaviour (the paper identified them by manual
+    inspection). The reproduction therefore only assigns these categories to
+    probes the random forest could not classify confidently; DESIGN.md records
+    this substitution for the paper's manual step.
+    """
+    trace = probe.trace_a
+    if not trace.is_valid:
+        return None
+    windows = np.asarray(trace.post_timeout, dtype=float)
+    if len(windows) < _FLAT_ROUNDS:
+        return None
+    if _is_approaching(windows, trace):
+        return SpecialCase.APPROACHING
+    if _is_bounded(windows, trace):
+        return SpecialCase.BOUNDED
+    return None
+
+
+def detect_special_case_in_trace(trace: WindowTrace) -> SpecialCase | None:
+    """Categorise a single valid trace (all four detectors, in priority order)."""
+    if not trace.is_valid:
+        return None
+    windows = np.asarray(trace.post_timeout, dtype=float)
+    if len(windows) < _FLAT_ROUNDS:
+        return None
+    if _is_remaining_at_one(windows):
+        return SpecialCase.REMAINING_AT_ONE
+    if _is_nonincreasing(windows, trace.w_timeout):
+        return SpecialCase.NONINCREASING
+    if _is_approaching(windows, trace):
+        return SpecialCase.APPROACHING
+    if _is_bounded(windows, trace):
+        return SpecialCase.BOUNDED
+    return None
+
+
+def _is_remaining_at_one(windows: np.ndarray) -> bool:
+    """The window never recovers after the timeout (Fig. 14)."""
+    tail = windows[1:]
+    return bool(len(tail) > 0 and np.max(tail) <= _REMAINING_CEILING)
+
+
+def _is_nonincreasing(windows: np.ndarray, w_timeout: int) -> bool:
+    """Slow start ends and then the window never grows again (Fig. 15).
+
+    The plateau must start early (more than the trailing ``_FLAT_ROUNDS``
+    rounds remain) and stay strictly below the pre-timeout region, otherwise
+    it would be a bounded-window case.
+    """
+    peak_index = int(np.argmax(windows))
+    peak = windows[peak_index]
+    if peak <= _REMAINING_CEILING or peak > w_timeout:
+        return False
+    if peak_index > len(windows) - _FLAT_ROUNDS:
+        return False
+    after_peak = windows[peak_index:]
+    return bool(np.all(after_peak <= peak * (1.0 + _FLAT_TOLERANCE))
+                and np.max(after_peak) - np.min(after_peak) <= peak * _FLAT_TOLERANCE)
+
+
+def _is_approaching(windows: np.ndarray, trace: WindowTrace) -> bool:
+    """The window creeps asymptotically towards the pre-timeout window (Fig. 16)."""
+    w_loss = trace.w_loss
+    tail = windows[-_FLAT_ROUNDS:]
+    # The window must end up close to the pre-timeout window itself, not just
+    # above the emulated-timeout threshold.
+    if not 0.90 * w_loss <= tail[-1] <= 1.05 * w_loss:
+        return False
+    increments = np.diff(windows)
+    if np.any(increments < -0.5):
+        return False
+    # Growth must be decelerating within the congestion-avoidance region
+    # (after the window passed half of w_loss, i.e. past any plausible
+    # slow start threshold).
+    avoidance = windows[windows >= 0.55 * w_loss]
+    if len(avoidance) < 5:
+        return False
+    avoidance_increments = np.diff(avoidance)
+    early_growth = float(np.max(avoidance_increments[: max(2, len(avoidance_increments) // 2)]))
+    late_growth = float(np.mean(np.abs(avoidance_increments[-3:])))
+    return early_growth > 2.0 and late_growth <= max(0.15 * early_growth, 2.0)
+
+
+def _is_bounded(windows: np.ndarray, trace: WindowTrace) -> bool:
+    """The window exceeds ``w_timeout`` and then hits a hard ceiling (Fig. 17)."""
+    tail = windows[-_FLAT_ROUNDS:]
+    peak = float(np.max(windows))
+    if peak <= trace.w_timeout * 1.02:
+        return False
+    spread = float(np.max(tail) - np.min(tail))
+    return spread <= max(1.0, peak * _FLAT_TOLERANCE) and float(np.max(tail)) >= peak * 0.98
+
+
+def special_case_label(case: SpecialCase) -> str:
+    """Human readable label used in Table IV."""
+    labels = {
+        SpecialCase.REMAINING_AT_ONE: "Remaining at 1 Packet",
+        SpecialCase.NONINCREASING: "Nonincreasing Window",
+        SpecialCase.APPROACHING: "Approaching w_timeout",
+        SpecialCase.BOUNDED: "Bounded Window",
+    }
+    return labels[case]

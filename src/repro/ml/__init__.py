@@ -1,0 +1,28 @@
+"""Machine-learning substrate.
+
+The paper classifies feature vectors with Weka's random forest after a model
+selection study over k-NN, decision trees, naive Bayes, SVMs and random
+forests (Section VI). This subpackage provides from-scratch implementations of
+the classifiers that study needs -- a CART-style decision tree with per-node
+random feature subspaces, bagged random forests with vote-fraction confidence,
+k-nearest neighbours and Gaussian naive Bayes -- plus stratified k-fold cross
+validation and confusion matrices.
+"""
+
+from repro.ml.dataset import LabeledDataset
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayesClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.validation import ConfusionMatrix, CrossValidationResult, cross_validate
+
+__all__ = [
+    "ConfusionMatrix",
+    "CrossValidationResult",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayesClassifier",
+    "KNearestNeighborsClassifier",
+    "LabeledDataset",
+    "RandomForestClassifier",
+    "cross_validate",
+]

@@ -1,0 +1,175 @@
+"""CART-style decision tree with per-node random feature subspaces.
+
+This is the tree grower random forests need (Breiman 2001, the algorithm the
+paper uses through Weka): at every node a random subset of ``max_features``
+feature indices is drawn, the best Gini split among them is taken, and the
+tree is grown without pruning until nodes are pure or too small.
+
+The tree also works as a stand-alone classifier (``max_features=None`` uses
+all features at every node), which is one of the baselines of the paper's
+model-selection study. Labels are encoded to integers once at fit time so the
+split search is fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dataset import LabeledDataset
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry class counts, internal nodes carry a split."""
+
+    prediction: int
+    class_counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Gini-impurity decision tree classifier.
+
+    Attributes:
+        max_features: number of features examined at each node; ``None`` uses
+            all of them (plain CART), an integer enables the random-subspace
+            behaviour required inside a random forest.
+        min_samples_split: nodes smaller than this become leaves.
+        max_depth: optional depth cap (``None`` = unlimited, as in the paper).
+        rng: random generator used for the feature subspace draws.
+    """
+
+    max_features: int | None = None
+    min_samples_split: int = 2
+    max_depth: int | None = None
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    _root: _Node | None = field(default=None, init=False, repr=False)
+    _classes: list[str] = field(default_factory=list, init=False, repr=False)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, dataset: LabeledDataset) -> "DecisionTreeClassifier":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        if self.max_features is not None and self.max_features < 1:
+            raise ValueError("max_features must be at least 1")
+        self._classes = dataset.classes()
+        class_index = {label: i for i, label in enumerate(self._classes)}
+        encoded = np.array([class_index[str(label)] for label in dataset.labels],
+                           dtype=np.int64)
+        self._root = self._grow(np.asarray(dataset.features, dtype=float), encoded, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(labels, minlength=len(self._classes))
+        prediction = int(np.argmax(counts))
+        node = _Node(prediction=prediction, class_counts=counts)
+        if (len(labels) < self.min_samples_split
+                or int(np.count_nonzero(counts)) == 1
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return node
+        split = self._best_split(features, labels, counts)
+        if split is None:
+            return node
+        feature, threshold, left_mask = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[left_mask], labels[left_mask], depth + 1)
+        node.right = self._grow(features[~left_mask], labels[~left_mask], depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, features: np.ndarray, labels: np.ndarray,
+                    parent_counts: np.ndarray) -> tuple[int, float, np.ndarray] | None:
+        n = len(labels)
+        n_classes = len(self._classes)
+        parent_impurity = _gini(parent_counts.astype(float), n)
+        best_gain = 1e-12
+        best: tuple[int, float, np.ndarray] | None = None
+        one_hot = np.zeros((n, n_classes), dtype=np.float64)
+        one_hot[np.arange(n), labels] = 1.0
+        for feature in self._candidate_features(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_values = column[order]
+            # Candidate cut positions sit between distinct consecutive values.
+            distinct = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
+            if len(distinct) == 0:
+                continue
+            cumulative = np.cumsum(one_hot[order], axis=0)
+            left_counts = cumulative[distinct]
+            right_counts = cumulative[-1] - left_counts
+            n_left = (distinct + 1).astype(float)
+            n_right = n - n_left
+            gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
+            gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
+            weighted = (n_left * gini_left + n_right * gini_right) / n
+            gains = parent_impurity - weighted
+            best_cut = int(np.argmax(gains))
+            if gains[best_cut] > best_gain:
+                cut = distinct[best_cut]
+                threshold = 0.5 * (sorted_values[cut] + sorted_values[cut + 1])
+                mask = column <= threshold
+                if mask.all() or not mask.any():
+                    continue
+                best_gain = float(gains[best_cut])
+                best = (int(feature), float(threshold), mask)
+        return best
+
+    # -------------------------------------------------------------- predict
+    def predict_one(self, vector: np.ndarray) -> str:
+        node = self._require_fitted()
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            if vector[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return self._classes[node.prediction]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.predict_one(row) for row in features], dtype=object)
+
+    def _require_fitted(self) -> _Node:
+        if self._root is None:
+            raise RuntimeError("classifier has not been fitted")
+        return self._root
+
+    # ------------------------------------------------------------ inspection
+    def classes(self) -> list[str]:
+        return list(self._classes)
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._require_fitted())
+
+    def node_count(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            return 1 + walk(node.left) + walk(node.right)
+        return walk(self._require_fitted())
+
+
+def _gini(counts: np.ndarray, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions ** 2))

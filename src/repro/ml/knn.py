@@ -1,0 +1,63 @@
+"""k-nearest-neighbours classifier.
+
+One of the baselines in the paper's model selection study (Section VI).
+Features are standardised per dimension before the Euclidean distance is
+computed, because the CAAI feature vector mixes ratios (beta, around 0.5-2)
+with window offsets (tens to hundreds of packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dataset import LabeledDataset
+
+
+@dataclass
+class KNearestNeighborsClassifier:
+    """Standardised Euclidean k-NN with majority vote."""
+
+    k: int = 5
+    standardize: bool = True
+    _features: np.ndarray | None = field(default=None, init=False, repr=False)
+    _labels: np.ndarray | None = field(default=None, init=False, repr=False)
+    _mean: np.ndarray | None = field(default=None, init=False, repr=False)
+    _std: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def fit(self, dataset: LabeledDataset) -> "KNearestNeighborsClassifier":
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if len(dataset) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._mean = dataset.features.mean(axis=0)
+        self._std = dataset.features.std(axis=0)
+        self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        self._features = self._transform(dataset.features)
+        self._labels = np.array([str(label) for label in dataset.labels], dtype=object)
+        return self
+
+    def _transform(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if not self.standardize:
+            return features
+        assert self._mean is not None and self._std is not None
+        return (features - self._mean) / self._std
+
+    def predict_one(self, vector: np.ndarray) -> str:
+        if self._features is None or self._labels is None:
+            raise RuntimeError("classifier has not been fitted")
+        point = self._transform(np.atleast_2d(vector))[0]
+        distances = np.linalg.norm(self._features - point, axis=1)
+        k = min(self.k, len(distances))
+        neighbours = np.argpartition(distances, k - 1)[:k]
+        votes: dict[str, int] = {}
+        for index in neighbours:
+            label = str(self._labels[index])
+            votes[label] = votes.get(label, 0) + 1
+        return max(votes.items(), key=lambda item: (item[1], item[0]))[0]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.predict_one(row) for row in features], dtype=object)

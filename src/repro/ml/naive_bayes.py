@@ -1,0 +1,57 @@
+"""Gaussian naive Bayes classifier.
+
+Another baseline from the paper's model selection study (Section VI). Each
+feature is modelled as an independent Gaussian per class; a small variance
+floor keeps degenerate features (e.g. the binary ``reach64`` flag within one
+class) from producing infinite likelihoods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dataset import LabeledDataset
+
+
+@dataclass
+class GaussianNaiveBayesClassifier:
+    """Per-class independent Gaussian likelihood classifier."""
+
+    variance_floor: float = 1e-3
+    _classes: list[str] = field(default_factory=list, init=False, repr=False)
+    _priors: dict[str, float] = field(default_factory=dict, init=False, repr=False)
+    _means: dict[str, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+    _variances: dict[str, np.ndarray] = field(default_factory=dict, init=False, repr=False)
+
+    def fit(self, dataset: LabeledDataset) -> "GaussianNaiveBayesClassifier":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._classes = dataset.classes()
+        labels = np.array([str(label) for label in dataset.labels], dtype=object)
+        for label in self._classes:
+            rows = dataset.features[labels == label]
+            self._priors[label] = len(rows) / len(dataset)
+            self._means[label] = rows.mean(axis=0)
+            self._variances[label] = np.maximum(rows.var(axis=0), self.variance_floor)
+        return self
+
+    def log_likelihood(self, vector: np.ndarray, label: str) -> float:
+        mean = self._means[label]
+        variance = self._variances[label]
+        log_prob = -0.5 * np.sum(np.log(2.0 * math.pi * variance)
+                                 + ((vector - mean) ** 2) / variance)
+        return float(log_prob + math.log(self._priors[label]))
+
+    def predict_one(self, vector: np.ndarray) -> str:
+        if not self._classes:
+            raise RuntimeError("classifier has not been fitted")
+        vector = np.asarray(vector, dtype=float)
+        scores = {label: self.log_likelihood(vector, label) for label in self._classes}
+        return max(scores.items(), key=lambda item: (item[1], item[0]))[0]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.predict_one(row) for row in features], dtype=object)

@@ -1,0 +1,105 @@
+"""Random forest classifier (Breiman 2001).
+
+The classifier CAAI uses (Section VI): ``n_trees`` decision trees, each grown
+on a bootstrap resample of the training set with a random subspace of
+``max_features`` features considered at every node and no pruning. Prediction
+is by majority vote; the fraction of trees voting for the winner is reported
+as the classification confidence, which CAAI thresholds at 40 % before
+accepting an identification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.dataset import LabeledDataset
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+#: Parameter values the paper selects through cross validation (Fig. 12):
+#: 80 trees and 4 randomly selected features per node.
+PAPER_N_TREES = 80
+PAPER_MAX_FEATURES = 4
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of a forest vote for one feature vector."""
+
+    label: str
+    confidence: float
+    votes: dict[str, int]
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bagged random-subspace decision forest."""
+
+    n_trees: int = PAPER_N_TREES
+    max_features: int = PAPER_MAX_FEATURES
+    min_samples_split: int = 2
+    max_depth: int | None = None
+    seed: int = 0
+    _trees: list[DecisionTreeClassifier] = field(default_factory=list, init=False, repr=False)
+    _classes: list[str] = field(default_factory=list, init=False, repr=False)
+
+    def fit(self, dataset: LabeledDataset) -> "RandomForestClassifier":
+        if self.n_trees < 1:
+            raise ValueError("a forest needs at least one tree")
+        if self.max_features < 1:
+            raise ValueError("max_features must be at least 1")
+        rng = np.random.default_rng(self.seed)
+        self._classes = dataset.classes()
+        self._trees = []
+        max_features = min(self.max_features, dataset.n_features)
+        for _ in range(self.n_trees):
+            sample = dataset.bootstrap(rng)
+            tree = DecisionTreeClassifier(
+                max_features=max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+                rng=np.random.default_rng(rng.integers(0, 2 ** 63 - 1)),
+            )
+            tree.fit(sample)
+            self._trees.append(tree)
+        return self
+
+    # -------------------------------------------------------------- predict
+    def vote_one(self, vector: np.ndarray) -> VoteResult:
+        """Classify one vector, returning the winner and its vote fraction."""
+        if not self._trees:
+            raise RuntimeError("classifier has not been fitted")
+        votes: dict[str, int] = {}
+        for tree in self._trees:
+            label = tree.predict_one(np.asarray(vector, dtype=float))
+            votes[label] = votes.get(label, 0) + 1
+        winner = max(votes.items(), key=lambda item: (item[1], item[0]))[0]
+        confidence = votes[winner] / len(self._trees)
+        return VoteResult(label=winner, confidence=confidence, votes=votes)
+
+    def predict_one(self, vector: np.ndarray) -> str:
+        return self.vote_one(vector).label
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.vote_one(row).label for row in features], dtype=object)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class vote fractions, columns ordered by :meth:`classes`."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        output = np.zeros((len(features), len(self._classes)))
+        index = {label: i for i, label in enumerate(self._classes)}
+        for row, vector in enumerate(features):
+            result = self.vote_one(vector)
+            for label, count in result.votes.items():
+                if label in index:
+                    output[row, index[label]] = count / len(self._trees)
+        return output
+
+    def classes(self) -> list[str]:
+        return list(self._classes)
+
+    @property
+    def trees(self) -> list[DecisionTreeClassifier]:
+        return list(self._trees)

@@ -1,0 +1,143 @@
+"""Cross validation and confusion matrices.
+
+The paper evaluates its classifiers with 10-fold cross validation
+(Section VII-A3) and reports the per-algorithm confusion matrix (Table III)
+and the overall accuracy as the random forest parameters are swept (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.dataset import LabeledDataset
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (true label, predicted label) pairs."""
+
+    labels: list[str]
+    counts: np.ndarray
+
+    @classmethod
+    def empty(cls, labels: list[str]) -> "ConfusionMatrix":
+        return cls(labels=list(labels), counts=np.zeros((len(labels), len(labels)), dtype=int))
+
+    def record(self, true_label: str, predicted_label: str) -> None:
+        if true_label not in self.labels:
+            self.labels.append(true_label)
+            self._grow()
+        if predicted_label not in self.labels:
+            self.labels.append(predicted_label)
+            self._grow()
+        i = self.labels.index(true_label)
+        j = self.labels.index(predicted_label)
+        self.counts[i, j] += 1
+
+    def _grow(self) -> None:
+        size = len(self.labels)
+        grown = np.zeros((size, size), dtype=int)
+        grown[: self.counts.shape[0], : self.counts.shape[1]] = self.counts
+        self.counts = grown
+
+    # -------------------------------------------------------------- metrics
+    def accuracy(self) -> float:
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.counts) / total)
+
+    def per_class_accuracy(self) -> dict[str, float]:
+        result: dict[str, float] = {}
+        for i, label in enumerate(self.labels):
+            row_total = self.counts[i].sum()
+            result[label] = float(self.counts[i, i] / row_total) if row_total else 0.0
+        return result
+
+    def row_percentages(self) -> np.ndarray:
+        """Each row normalised to percentages (the Table III presentation)."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            percentages = np.where(totals > 0, 100.0 * self.counts / totals, 0.0)
+        return percentages
+
+    def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        merged = ConfusionMatrix.empty(sorted(set(self.labels) | set(other.labels)))
+        for source in (self, other):
+            for i, true_label in enumerate(source.labels):
+                for j, predicted_label in enumerate(source.labels):
+                    count = int(source.counts[i, j])
+                    if count:
+                        ti = merged.labels.index(true_label)
+                        tj = merged.labels.index(predicted_label)
+                        merged.counts[ti, tj] += count
+        return merged
+
+
+@dataclass
+class CrossValidationResult:
+    """Outcome of a k-fold cross validation run."""
+
+    fold_accuracies: list[float]
+    confusion: ConfusionMatrix
+    n_folds: int
+    classifier_description: str = ""
+
+    @property
+    def accuracy(self) -> float:
+        return self.confusion.accuracy()
+
+    @property
+    def accuracy_std(self) -> float:
+        if len(self.fold_accuracies) < 2:
+            return 0.0
+        return float(np.std(self.fold_accuracies, ddof=1))
+
+
+ClassifierFactory = Callable[[], object]
+
+
+def cross_validate(dataset: LabeledDataset, classifier_factory: ClassifierFactory,
+                   n_folds: int = 10, seed: int = 0,
+                   description: str = "") -> CrossValidationResult:
+    """Stratified k-fold cross validation.
+
+    ``classifier_factory`` must return a fresh, unfitted classifier exposing
+    ``fit(dataset)`` and ``predict(features)``.
+    """
+    rng = np.random.default_rng(seed)
+    folds = dataset.stratified_folds(n_folds, rng)
+    confusion = ConfusionMatrix.empty(dataset.classes())
+    fold_accuracies: list[float] = []
+    for fold_index, test_indices in enumerate(folds):
+        test_mask = np.zeros(len(dataset), dtype=bool)
+        test_mask[test_indices] = True
+        train = dataset.subset(np.nonzero(~test_mask)[0])
+        test = dataset.subset(np.nonzero(test_mask)[0])
+        if len(test) == 0 or len(train) == 0:
+            continue
+        classifier = classifier_factory()
+        classifier.fit(train)
+        predictions = classifier.predict(test.features)
+        correct = 0
+        for true_label, predicted in zip(test.labels, predictions):
+            confusion.record(str(true_label), str(predicted))
+            if str(true_label) == str(predicted):
+                correct += 1
+        fold_accuracies.append(correct / len(test))
+    return CrossValidationResult(fold_accuracies=fold_accuracies, confusion=confusion,
+                                 n_folds=n_folds, classifier_description=description)
+
+
+def holdout_accuracy(train: LabeledDataset, test: LabeledDataset,
+                     classifier_factory: ClassifierFactory) -> float:
+    """Train on one dataset, evaluate accuracy on another."""
+    classifier = classifier_factory()
+    classifier.fit(train)
+    predictions = classifier.predict(test.features)
+    correct = sum(1 for true_label, predicted in zip(test.labels, predictions)
+                  if str(true_label) == str(predicted))
+    return correct / len(test) if len(test) else 0.0

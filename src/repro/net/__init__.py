@@ -1,0 +1,24 @@
+"""Network emulation substrate.
+
+A small discrete-event simulator, a netem-style link model (delay, jitter,
+loss, reordering, duplication), and the measured network-condition database
+the paper uses to emulate realistic Internet paths on its testbed
+(Section VII-A2, Figs. 4, 10 and 11).
+"""
+
+from repro.net.conditions import (
+    ConditionDatabase,
+    NetworkCondition,
+    default_condition_database,
+)
+from repro.net.link import LinkStats, NetemLink
+from repro.net.simulator import EventSimulator
+
+__all__ = [
+    "ConditionDatabase",
+    "EventSimulator",
+    "LinkStats",
+    "NetemLink",
+    "NetworkCondition",
+    "default_condition_database",
+]

@@ -1,0 +1,126 @@
+"""Network condition database.
+
+The paper drives its testbed emulation from a database of network conditions
+measured against 5000 popular Web servers in 2010-2011 (Section VII-A2): the
+average RTT per server (Fig. 4), the RTT standard deviation (Fig. 10), and the
+packet-loss rate (Fig. 11). We cannot rerun those measurements, so this module
+generates a synthetic database from parametric distributions whose CDFs match
+the published figures: RTTs are log-normal with almost all mass below 0.8 s,
+RTT jitter is log-normal with a median around 10 ms, and loss rates are a
+mixture of a near-lossless majority and a heavier-tailed minority.
+
+Each emulated condition is an independent draw of (average RTT, RTT standard
+deviation, loss rate), exactly how the paper configures netem for each
+training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of servers the paper measured to build its condition database.
+PAPER_DATABASE_SIZE = 5000
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """One emulated Internet path between the prober and a server."""
+
+    average_rtt: float
+    rtt_std: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.average_rtt <= 0:
+            raise ValueError("average RTT must be positive")
+        if self.rtt_std < 0:
+            raise ValueError("RTT standard deviation must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must lie in [0, 1)")
+
+    @classmethod
+    def ideal(cls) -> "NetworkCondition":
+        """A loss-free, jitter-free path (the paper's local-testbed Fig. 3 runs)."""
+        return cls(average_rtt=0.04, rtt_std=0.0, loss_rate=0.0)
+
+
+@dataclass
+class ConditionDatabase:
+    """Synthetic stand-in for the paper's measured network-condition database."""
+
+    average_rtts: np.ndarray
+    rtt_stds: np.ndarray
+    loss_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.average_rtts) == 0:
+            raise ValueError("condition database must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.average_rtts)
+
+    def sample(self, rng: np.random.Generator) -> NetworkCondition:
+        """Draw one condition (independent draws per dimension, as the paper does)."""
+        return NetworkCondition(
+            average_rtt=float(rng.choice(self.average_rtts)),
+            rtt_std=float(rng.choice(self.rtt_stds)),
+            loss_rate=float(rng.choice(self.loss_rates)),
+        )
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[NetworkCondition]:
+        return [self.sample(rng) for _ in range(count)]
+
+    # -- figure data ---------------------------------------------------------
+    def rtt_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(values, cumulative fraction) for Fig. 4."""
+        return _empirical_cdf(self.average_rtts)
+
+    def rtt_std_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(values, cumulative fraction) for Fig. 10."""
+        return _empirical_cdf(self.rtt_stds)
+
+    def loss_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(values, cumulative fraction) for Fig. 11."""
+        return _empirical_cdf(self.loss_rates)
+
+
+def _empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    ordered = np.sort(np.asarray(values, dtype=float))
+    fractions = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, fractions
+
+
+def default_condition_database(size: int = PAPER_DATABASE_SIZE,
+                               seed: int = 2010) -> ConditionDatabase:
+    """Build the synthetic condition database.
+
+    Shape targets taken from the paper's figures:
+
+    * Fig. 4 -- RTT CDF: median on the order of 100 ms, about 95 % of servers
+      below 400 ms and essentially all below 0.8 s (the fact that justifies
+      the 1.0 s emulated RTT).
+    * Fig. 10 -- RTT standard deviation: median around 10 ms with a tail to a
+      few hundred milliseconds.
+    * Fig. 11 -- packet-loss rate: most paths nearly lossless, a minority with
+      losses up to several percent.
+    """
+    if size <= 0:
+        raise ValueError("database size must be positive")
+    rng = np.random.default_rng(seed)
+
+    average_rtts = rng.lognormal(mean=np.log(0.095), sigma=0.75, size=size)
+    average_rtts = np.clip(average_rtts, 0.005, 0.79)
+
+    rtt_stds = rng.lognormal(mean=np.log(0.010), sigma=1.0, size=size)
+    rtt_stds = np.clip(rtt_stds, 0.0002, 0.25)
+
+    # Loss: ~55 % of paths essentially lossless, the rest exponential-tailed.
+    lossless = rng.uniform(0.0, 0.001, size=size)
+    lossy = np.clip(rng.exponential(scale=0.012, size=size), 0.0, 0.12)
+    is_lossy = rng.random(size) < 0.45
+    loss_rates = np.where(is_lossy, lossy, lossless)
+
+    return ConditionDatabase(average_rtts=average_rtts, rtt_stds=rtt_stds,
+                             loss_rates=loss_rates)

@@ -1,0 +1,44 @@
+"""Congestion avoidance algorithm implementations.
+
+One module per algorithm family. Every class here follows the published
+description of the algorithm (and, where the paper's testbed used a specific
+kernel version, the behaviour of that version), because the features CAAI
+extracts -- the multiplicative decrease parameter and the early
+congestion-avoidance growth -- are direct consequences of those update rules.
+"""
+
+from repro.tcp.algorithms.bic import Bic
+from repro.tcp.algorithms.ctcp import CompoundTcp, CtcpA, CtcpB
+from repro.tcp.algorithms.cubic import Cubic, CubicA, CubicB
+from repro.tcp.algorithms.hstcp import HighSpeedTcp
+from repro.tcp.algorithms.htcp import HTcp
+from repro.tcp.algorithms.hybla import Hybla
+from repro.tcp.algorithms.illinois import Illinois
+from repro.tcp.algorithms.lp import LowPriorityTcp
+from repro.tcp.algorithms.reno import Reno
+from repro.tcp.algorithms.scalable import ScalableTcp
+from repro.tcp.algorithms.vegas import Vegas
+from repro.tcp.algorithms.veno import Veno
+from repro.tcp.algorithms.westwood import WestwoodPlus
+from repro.tcp.algorithms.yeah import Yeah
+
+__all__ = [
+    "Bic",
+    "CompoundTcp",
+    "CtcpA",
+    "CtcpB",
+    "Cubic",
+    "CubicA",
+    "CubicB",
+    "HighSpeedTcp",
+    "HTcp",
+    "Hybla",
+    "Illinois",
+    "LowPriorityTcp",
+    "Reno",
+    "ScalableTcp",
+    "Vegas",
+    "Veno",
+    "WestwoodPlus",
+    "Yeah",
+]

@@ -1,0 +1,73 @@
+"""TCP-LP: low-priority congestion control (Kuzmanovic & Knightly, INFOCOM 2003).
+
+TCP-LP yields to regular traffic: it grows like RENO while the one-way delay
+is close to its minimum, but as soon as the smoothed delay crosses a threshold
+between the observed minimum and maximum it infers competing traffic and backs
+off aggressively (halving, and dropping to one packet if the inference repeats
+within an inference window). The paper lists TCP-LP in Table I but excludes it
+from identification because it targets background transfers, not Web servers;
+it is implemented for catalogue completeness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+
+class LowPriorityTcp(CongestionAvoidance):
+    """TCP-LP congestion avoidance."""
+
+    name = "lp"
+    label = "LP"
+    delay_based = True
+
+    #: Early-congestion threshold as a fraction of the delay range.
+    delay_threshold = 0.15
+    #: Length of the inference phase (seconds).
+    inference_window = 1.0
+    #: Multiplicative decrease parameter outside the inference phase.
+    beta = 0.5
+
+    def __init__(self) -> None:
+        self._smoothed_delay = 0.0
+        self._last_inference_time: float | None = None
+        self._within_inference = False
+
+    def on_connection_start(self, state: CongestionState) -> None:
+        self._smoothed_delay = 0.0
+        self._last_inference_time = None
+        self._within_inference = False
+
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        self._update_delay(state, ctx)
+        if self._early_congestion(state):
+            self._back_off(state, ctx.now)
+        else:
+            self._within_inference = False
+            state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def _update_delay(self, state: CongestionState, ctx: AckContext) -> None:
+        if ctx.rtt_sample is None or not math.isfinite(state.min_rtt):
+            return
+        delay = max(0.0, ctx.rtt_sample - state.min_rtt)
+        self._smoothed_delay = 0.875 * self._smoothed_delay + 0.125 * delay
+
+    def _early_congestion(self, state: CongestionState) -> bool:
+        if not math.isfinite(state.min_rtt) or state.max_rtt <= state.min_rtt:
+            return False
+        delay_range = state.max_rtt - state.min_rtt
+        return self._smoothed_delay > self.delay_threshold * delay_range
+
+    def _back_off(self, state: CongestionState, now: float) -> None:
+        if self._within_inference and self._last_inference_time is not None \
+                and now - self._last_inference_time <= self.inference_window:
+            state.cwnd = 1.0
+        else:
+            state.cwnd = max(state.cwnd / 2.0, 1.0)
+            self._within_inference = True
+        self._last_inference_time = now
+
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        return state.cwnd * self.beta

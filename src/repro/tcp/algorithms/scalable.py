@@ -1,0 +1,37 @@
+"""Scalable TCP (Kelly, CCR 2003).
+
+STCP uses a multiplicative-increase multiplicative-decrease rule: each ACK
+adds a constant 0.01 packets (so the per-RTT growth is proportional to the
+window, i.e. exponential), and a loss multiplies the window by 0.875. These
+are the constants the paper quotes for STCP in Section III-B.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+
+class ScalableTcp(CongestionAvoidance):
+    """Scalable TCP congestion avoidance."""
+
+    name = "stcp"
+    label = "STCP"
+    delay_based = False
+
+    #: Packets added per received ACK during congestion avoidance.
+    increase_per_ack = 0.01
+    #: Multiplicative decrease parameter (1 - 1/8).
+    beta = 0.875
+    #: Below this window STCP behaves like RENO (Linux low_window = 16).
+    low_window = 16.0
+
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        if state.cwnd < self.low_window:
+            state.cwnd += 1.0 / max(state.cwnd, 1.0)
+        else:
+            state.cwnd += self.increase_per_ack
+
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        if state.cwnd < self.low_window:
+            return state.cwnd / 2.0
+        return state.cwnd * self.beta

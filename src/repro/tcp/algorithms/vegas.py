@@ -1,0 +1,64 @@
+"""TCP Vegas (Brakmo, O'Malley, Peterson, SIGCOMM 1994).
+
+Vegas is purely delay-based in congestion avoidance: once per RTT it compares
+the expected throughput (window / base RTT) with the actual throughput
+(window / current RTT) and adjusts the window by at most one packet so the
+estimated backlog stays between ``alpha`` and ``beta`` packets.
+
+In CAAI's environment A the emulated RTT never exceeds the base RTT, so Vegas
+grows linearly like RENO; in environment B the RTT step from 0.8 s to 1.0 s is
+interpreted as queueing and Vegas refuses to grow, which is why its window
+never reaches 64 packets there -- the behaviour behind the ``reach64``
+feature-vector element (Section V-D).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+
+class Vegas(CongestionAvoidance):
+    """TCP Vegas congestion avoidance."""
+
+    name = "vegas"
+    label = "VEGAS"
+    delay_based = True
+
+    #: Lower and upper backlog thresholds in packets (Linux defaults 2 and 4).
+    alpha = 2.0
+    beta = 4.0
+    #: Slow start exit threshold: leave slow start once the backlog exceeds
+    #: ``gamma`` packets (Linux default 1). This is what keeps Vegas' window
+    #: tiny in environment B, where the RTT step looks like queueing.
+    gamma = 1.0
+    #: Multiplicative decrease on loss (Vegas falls back to RENO's halving).
+    loss_beta = 0.5
+
+    # -- window growth -----------------------------------------------------
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        # Vegas adjusts its window once per RTT (in on_round_complete), so the
+        # per-ACK hook does nothing.
+        return
+
+    def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
+        rtt = state.last_round_rtt or state.latest_rtt
+        base_rtt = state.min_rtt
+        if rtt is None or rtt <= 0 or not math.isfinite(base_rtt):
+            return
+        backlog = state.cwnd * (rtt - base_rtt) / rtt
+        if state.in_slow_start():
+            # Linux Vegas: too much backlog during slow start forces an early
+            # exit by pulling ssthresh down to the current window.
+            if backlog > self.gamma:
+                state.ssthresh = min(state.ssthresh, state.cwnd)
+            return
+        if backlog < self.alpha:
+            state.cwnd += 1.0
+        elif backlog > self.beta:
+            state.cwnd = max(state.cwnd - 1.0, 2.0)
+
+    # -- multiplicative decrease --------------------------------------------
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        return state.cwnd * self.loss_beta

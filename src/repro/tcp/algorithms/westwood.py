@@ -1,0 +1,111 @@
+"""TCP Westwood+ (Casetti, Gerla, Mascolo, Sanadidi, Wang, MobiCom 2001).
+
+Westwood+ grows its window exactly like RENO but replaces the blind halving
+with a bandwidth-estimate-based backoff: after a loss or timeout the slow
+start threshold is set to the estimated bandwidth-delay product,
+``ssthresh = BWE * RTT_min / MSS``. The bandwidth estimate is a low-pass
+filtered sample of the data acknowledged per RTT.
+
+The long silent period of CAAI's emulated timeout starves the estimator: no
+ACKs arrive for several seconds, the filter receives idle (zero-bandwidth)
+samples, and the post-timeout ssthresh collapses to a handful of packets. The
+window therefore never gets anywhere near the pre-timeout window within the 18
+recorded RTTs, which is exactly the Fig. 3(m) behaviour that makes CAAI assign
+``beta = 0`` to Westwood+ (Section V-B).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+
+class WestwoodPlus(CongestionAvoidance):
+    """TCP Westwood+ congestion avoidance with bandwidth-estimate backoff."""
+
+    name = "westwood"
+    label = "WESTWOOD+"
+    delay_based = True
+
+    #: Low-pass filter coefficient for the bandwidth estimate (Linux: 7/8).
+    filter_gain = 7.0 / 8.0
+    #: Idle gap (multiples of the smoothed RTT) after which the estimator
+    #: inserts zero-bandwidth samples, as the Linux implementation does when
+    #: no ACKs arrive for more than one RTT.
+    idle_rtt_threshold = 1.0
+
+    def __init__(self) -> None:
+        self._bandwidth_estimate = 0.0   # packets per second
+        self._acked_this_round = 0.0
+        self._round_start_time: float | None = None
+        self._last_sample_time: float | None = None
+
+    def on_connection_start(self, state: CongestionState) -> None:
+        self._bandwidth_estimate = 0.0
+        self._acked_this_round = 0.0
+        self._round_start_time = None
+        self._last_sample_time = None
+
+    # -- bandwidth sampling --------------------------------------------------
+    def _record_ack(self, state: CongestionState, ctx: AckContext) -> None:
+        if self._round_start_time is None:
+            self._round_start_time = ctx.now
+        self._acked_this_round += ctx.newly_acked_packets
+        self._maybe_insert_idle_samples(state, ctx.now)
+        self._last_sample_time = ctx.now
+
+    def _maybe_insert_idle_samples(self, state: CongestionState, now: float) -> None:
+        """Decay the estimate across long silent gaps (Linux idle handling)."""
+        if self._last_sample_time is None:
+            return
+        rtt = state.srtt or state.latest_rtt
+        if rtt is None or rtt <= 0:
+            return
+        gap = now - self._last_sample_time
+        idle_rounds = int(gap / (self.idle_rtt_threshold * rtt))
+        for _ in range(min(idle_rounds, 64)):
+            self._bandwidth_estimate *= self.filter_gain
+
+    def _complete_round(self, state: CongestionState, now: float) -> None:
+        if self._round_start_time is None:
+            return
+        duration = max(now - self._round_start_time, 1e-9)
+        rtt = state.last_round_rtt or state.latest_rtt or duration
+        sample = self._acked_this_round / max(rtt, duration)
+        self._bandwidth_estimate = (self.filter_gain * self._bandwidth_estimate
+                                    + (1.0 - self.filter_gain) * sample)
+        self._acked_this_round = 0.0
+        self._round_start_time = now
+
+    # -- window growth -----------------------------------------------------
+    def on_ack_slow_start(self, state: CongestionState, ctx: AckContext) -> None:
+        self._record_ack(state, ctx)
+        state.cwnd += 1.0
+
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        self._record_ack(state, ctx)
+        state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
+        self._complete_round(state, ctx.now)
+
+    # -- congestion events ---------------------------------------------------
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        if not math.isfinite(state.min_rtt) or self._bandwidth_estimate <= 0:
+            return state.cwnd / 2.0
+        bdp = self._bandwidth_estimate * state.min_rtt
+        return max(bdp, 2.0)
+
+    def on_timeout(self, state: CongestionState, now: float) -> None:
+        # Account for the silent RTO period before computing the new ssthresh.
+        self._maybe_insert_idle_samples(state, now)
+        self._last_sample_time = now
+        super().on_timeout(state, now)
+        self._acked_this_round = 0.0
+        self._round_start_time = None
+
+    @property
+    def bandwidth_estimate(self) -> float:
+        """Filtered bandwidth estimate in packets per second."""
+        return self._bandwidth_estimate

@@ -1,0 +1,422 @@
+"""TCP sender state machine.
+
+This is the server-side engine a CAAI probe exercises: it transmits MSS-sized
+segments under the control of a pluggable congestion avoidance algorithm,
+performs standard slow start, reacts to retransmission timeouts, and supports
+the optional stack behaviours the paper has to work around -- F-RTO
+(Section IV-C, "How to Deal With Forward RTO-Recovery"), slow start threshold
+caching, and Linux's burstiness control (congestion window moderation).
+
+The sender is a passive object: callers (the round-level gatherer in
+:mod:`repro.core.gather`, the packet-level prober in
+:mod:`repro.core.prober`, and the Web server model in
+:mod:`repro.web.server`) feed it ACKs and clock readings and collect the
+segments it wants to transmit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState, MIN_CWND
+from repro.tcp.packet import Segment
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.slow_start import make_slow_start
+
+
+@dataclass
+class SenderConfig:
+    """Configuration of a TCP sender.
+
+    Most fields model standard, RFC-described behaviour; the trailing group of
+    "quirk" fields models server behaviours the paper observed in the wild
+    (Section VII-B3) and uses to explain its special-case traces.
+    """
+
+    mss: int = 1460
+    #: Initial congestion window in packets (the paper notes 1-10 in the wild).
+    initial_window: int = 2
+    #: Initial slow start threshold; infinite unless ssthresh caching applies.
+    initial_ssthresh: float = math.inf
+    #: Peer receive window in bytes (CAAI advertises about 1 GB).
+    receive_window_bytes: int = 65_535 << 14
+    #: Send buffer limit in packets; None means unlimited. A finite value
+    #: produces the paper's "Bounded Window" special case (Fig. 17).
+    send_buffer_packets: float | None = None
+    #: Slow start policy: "standard" or "hybrid".
+    slow_start: str = "standard"
+    #: Enable Forward RTO-Recovery (RFC 5682) spurious-timeout detection.
+    use_frto: bool = False
+    #: Enable Linux congestion-window moderation (burstiness control).
+    use_cwnd_moderation: bool = False
+    #: Packets of headroom allowed above the in-flight count when moderation
+    #: is enabled (Linux max_burst is 3).
+    moderation_burst: int = 3
+    #: RTO estimator seed.
+    initial_rto: float = 3.0
+    #: Number of duplicate ACKs that trigger a fast retransmit.
+    dupack_threshold: int = 3
+    # ---- server quirks observed in the Internet census -------------------
+    #: The server never reacts to the emulated timeout (invalid trace cause 2).
+    responds_to_timeout: bool = True
+    #: After a timeout the window stays at one packet ("Remaining at 1 Packet").
+    post_timeout_stall: bool = False
+    #: The window never grows during congestion avoidance ("Nonincreasing").
+    freeze_in_avoidance: bool = False
+    #: Soft ceiling the window only approaches ("Approaching w_timeout").
+    approach_ceiling: float | None = None
+    #: How quickly the window closes the gap to ``approach_ceiling`` per ACK.
+    approach_gain: float = 0.05
+
+
+@dataclass
+class TimeoutEvent:
+    """Record of a retransmission timeout taken by the sender."""
+
+    at: float
+    cwnd_before: float
+    ssthresh_after: float
+
+
+class TcpSender:
+    """A TCP sender driven by per-ACK events.
+
+    Sequence numbers are byte-based. Data is modelled as a contiguous stream;
+    :meth:`enqueue_bytes` extends it (e.g. when the Web server writes another
+    HTTP response). Segments are MSS-sized except possibly the last.
+    """
+
+    def __init__(self, algorithm: CongestionAvoidance, config: SenderConfig | None = None):
+        self.config = config or SenderConfig()
+        if self.config.mss <= 0:
+            raise ValueError("MSS must be positive")
+        self.algorithm = algorithm
+        self.state = CongestionState(
+            mss=self.config.mss,
+            cwnd=float(self.config.initial_window),
+            ssthresh=self.config.initial_ssthresh,
+        )
+        self.rto = RtoEstimator(initial_rto=self.config.initial_rto)
+        self.slow_start_policy = make_slow_start(self.config.slow_start)
+        self.algorithm.on_connection_start(self.state)
+
+        self._total_bytes = 0
+        self._snd_una = 0          # first unacknowledged packet index
+        self._snd_nxt = 0          # next packet index to send
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        self._timer_deadline: float | None = None
+        self._dupack_count = 0
+        self._in_recovery = False
+        self._recovery_point = 0
+        self._frto_state = 0       # 0: inactive, 1: after RTO, 2: awaiting 2nd ACK
+        self._frto_saved: tuple[float, float] | None = None
+        self._round_end = 0
+        self._round_start_time: float | None = None
+        self._last_timeout_time: float | None = None
+        self._started = False
+        self._finished_timeouts: list[TimeoutEvent] = []
+        self._had_timeout = False
+        self._spurious_timeouts = 0
+
+    # ------------------------------------------------------------------ data
+    @property
+    def total_packets(self) -> int:
+        return -(-self._total_bytes // self.config.mss) if self._total_bytes else 0
+
+    @property
+    def snd_una(self) -> int:
+        return self._snd_una
+
+    @property
+    def snd_nxt(self) -> int:
+        return self._snd_nxt
+
+    @property
+    def bytes_available(self) -> int:
+        return self._total_bytes
+
+    @property
+    def timeouts(self) -> list[TimeoutEvent]:
+        return list(self._finished_timeouts)
+
+    @property
+    def spurious_timeouts(self) -> int:
+        return self._spurious_timeouts
+
+    def enqueue_bytes(self, nbytes: int) -> None:
+        """Append application data (an HTTP response) to the send stream."""
+        if nbytes < 0:
+            raise ValueError("cannot enqueue a negative number of bytes")
+        self._total_bytes += nbytes
+
+    def all_data_acked(self) -> bool:
+        return self._snd_una >= self.total_packets and self.total_packets > 0
+
+    # ----------------------------------------------------------------- clock
+    def next_timer_deadline(self) -> float | None:
+        """Return the absolute time of the pending RTO, if a timer is armed."""
+        return self._timer_deadline
+
+    # ----------------------------------------------------------------- start
+    def start(self, now: float) -> list[Segment]:
+        """Transmit the initial window once the first request has been read."""
+        if self._started:
+            return []
+        self._started = True
+        self._round_start_time = now
+        segments = self._transmit_new_data(now)
+        self._round_end = self._snd_nxt
+        return segments
+
+    # ------------------------------------------------------------------ ACKs
+    def on_ack(self, ack_seq: int, now: float, *, is_duplicate: bool = False) -> list[Segment]:
+        """Process a cumulative ACK for all bytes below ``ack_seq``.
+
+        Returns the segments the sender transmits in response.
+        """
+        ack_packets = ack_seq // self.config.mss
+        if ack_seq >= self._total_bytes and self._total_bytes > 0:
+            ack_packets = max(ack_packets, self.total_packets)
+        if is_duplicate or ack_packets <= self._snd_una:
+            return self._on_duplicate_ack(now)
+        return self._on_new_ack(ack_packets, now)
+
+    def _on_duplicate_ack(self, now: float) -> list[Segment]:
+        self._dupack_count += 1
+        if self._frto_state:
+            # A duplicate ACK after an RTO means the timeout was genuine
+            # (RFC 5682); continue with conventional recovery.
+            self._frto_state = 0
+            self._frto_saved = None
+        if self._dupack_count >= self.config.dupack_threshold and not self._in_recovery:
+            return self._enter_fast_recovery(now)
+        return []
+
+    def _enter_fast_recovery(self, now: float) -> list[Segment]:
+        self._in_recovery = True
+        self._recovery_point = self._snd_nxt
+        self.algorithm.on_loss_event(self.state, now)
+        self.state.clamp()
+        segments = [self._build_segment(self._snd_una, now, retransmission=True)]
+        self._arm_timer(now)
+        return segments
+
+    def _on_new_ack(self, ack_packets: int, now: float) -> list[Segment]:
+        newly_acked = ack_packets - self._snd_una
+        rtt_sample = self._rtt_sample_for(ack_packets - 1, now)
+        self._register_rtt(rtt_sample, now)
+        self._snd_una = ack_packets
+        self._dupack_count = 0
+
+        segments: list[Segment] = []
+        if self._in_recovery and self._snd_una >= self._recovery_point:
+            self._in_recovery = False
+
+        frto_segments, suppress_growth = self._handle_frto(now)
+        segments.extend(frto_segments)
+
+        if not suppress_growth:
+            self._grow_window(newly_acked, rtt_sample, now)
+        self._apply_quirk_caps()
+        self._maybe_complete_round(rtt_sample, now)
+        self.state.clamp()
+
+        segments.extend(self._transmit_new_data(now))
+        if self.config.use_cwnd_moderation:
+            self._moderate_cwnd()
+        if self._snd_una >= self._round_end:
+            self._round_end = self._snd_nxt
+        if self._snd_una < self._snd_nxt or self._snd_nxt < self.total_packets:
+            self._arm_timer(now)
+        else:
+            self._timer_deadline = None
+        return segments
+
+    def _handle_frto(self, now: float) -> tuple[list[Segment], bool]:
+        """Advance the F-RTO state machine; returns (segments, suppress_growth)."""
+        if not self._frto_state:
+            return [], False
+        if self._frto_state == 1:
+            # First new ACK after the RTO: tentatively send new data rather
+            # than continuing go-back-N, and wait for a second ACK.
+            self._frto_state = 2
+            return self._transmit_new_data(now, limit=2), True
+        # Second new ACK: the timeout was spurious; undo the window collapse.
+        self._frto_state = 0
+        if self._frto_saved is not None:
+            saved_cwnd, saved_ssthresh = self._frto_saved
+            self.state.cwnd = saved_cwnd
+            self.state.ssthresh = saved_ssthresh
+            self._frto_saved = None
+        self._spurious_timeouts += 1
+        return [], True
+
+    def _grow_window(self, newly_acked: int, rtt_sample: float | None, now: float) -> None:
+        ctx = AckContext(now=now, rtt_sample=rtt_sample, newly_acked_packets=newly_acked)
+        if self.config.freeze_in_avoidance and not self.state.in_slow_start():
+            return
+        if self.config.post_timeout_stall and self._had_timeout:
+            self.state.cwnd = MIN_CWND
+            return
+        if self.state.in_slow_start():
+            if self._round_start_time is not None and hasattr(self.slow_start_policy, "on_round_start") \
+                    and self.state.acked_in_round == 0:
+                self.slow_start_policy.on_round_start(self.state, now)
+            before = self.state.cwnd
+            self.algorithm.on_ack_slow_start(self.state, ctx)
+            if type(self.algorithm).on_ack_slow_start is CongestionAvoidance.on_ack_slow_start:
+                # Default algorithms delegate to the configured slow start policy;
+                # undo the base-class growth and apply the policy instead.
+                self.state.cwnd = before
+                self.slow_start_policy.on_ack(self.state, now, rtt_sample)
+            # Never overshoot ssthresh by more than the acked amount.
+            if math.isfinite(self.state.ssthresh):
+                self.state.cwnd = min(self.state.cwnd,
+                                      max(self.state.ssthresh, before))
+        else:
+            self.algorithm.on_ack_avoidance(self.state, ctx)
+        self.state.acked_in_round += max(newly_acked, 1)
+
+    def _apply_quirk_caps(self) -> None:
+        ceiling = self.config.approach_ceiling
+        if ceiling is not None and self.state.cwnd > 0:
+            # The window only ever closes a fraction of its distance to the
+            # ceiling, producing the "Approaching w_timeout" trace shape.
+            gap = ceiling - self.state.cwnd
+            if gap < ceiling * 0.5:
+                self.state.cwnd = min(self.state.cwnd,
+                                      ceiling - max(gap, 0.0) * (1.0 - self.config.approach_gain))
+
+    def _maybe_complete_round(self, rtt_sample: float | None, now: float) -> None:
+        if self._snd_una < self._round_end or self._round_end == 0:
+            return
+        self.state.last_round_rtt = rtt_sample or self.state.latest_rtt
+        ctx = AckContext(now=now, rtt_sample=rtt_sample, newly_acked_packets=0,
+                         round_completed=True)
+        if not self.state.in_slow_start():
+            self.state.avoidance_rounds += 1
+        # Delay-based algorithms sample the path once per round even during
+        # slow start (e.g. Westwood's bandwidth filter, Vegas' early exit).
+        if not self.config.freeze_in_avoidance and not (
+                self.config.post_timeout_stall and self._had_timeout):
+            self.algorithm.on_round_complete(self.state, ctx)
+        self.state.acked_in_round = 0
+        self._round_start_time = now
+
+    def _moderate_cwnd(self) -> None:
+        in_flight = self._snd_nxt - self._snd_una
+        ceiling = in_flight + self.config.moderation_burst
+        if self.state.cwnd > ceiling:
+            self.state.cwnd = float(ceiling)
+
+    # ------------------------------------------------------------------ RTT
+    def _rtt_sample_for(self, packet_index: int, now: float) -> float | None:
+        """RTT sample for the newest packet covered by an ACK (Karn's rule).
+
+        Samples from retransmitted packets are discarded, and so are samples
+        from packets originally sent before the most recent retransmission
+        timeout: their acknowledgments were delayed by the silent RTO period,
+        so the measurement does not reflect the path RTT.
+        """
+        if packet_index in self._retransmitted:
+            return None
+        sent_at = self._send_times.get(packet_index)
+        if sent_at is None:
+            return None
+        if self._last_timeout_time is not None and sent_at < self._last_timeout_time:
+            return None
+        return max(now - sent_at, 1e-9)
+
+    def _register_rtt(self, rtt_sample: float | None, now: float) -> None:
+        if rtt_sample is None:
+            return
+        self.rto.observe(rtt_sample)
+        state = self.state
+        state.latest_rtt = rtt_sample
+        state.srtt = self.rto.srtt
+        state.min_rtt = min(state.min_rtt, rtt_sample)
+        state.max_rtt = max(state.max_rtt, rtt_sample)
+
+    # ------------------------------------------------------------------ send
+    def effective_window(self) -> float:
+        """Window actually usable for transmission, in packets."""
+        window = self.state.cwnd
+        rwnd_packets = self.config.receive_window_bytes / self.config.mss
+        window = min(window, rwnd_packets)
+        if self.config.send_buffer_packets is not None:
+            window = min(window, self.config.send_buffer_packets)
+        if self.config.post_timeout_stall and self._had_timeout:
+            window = min(window, 1.0)
+        return window
+
+    def _transmit_new_data(self, now: float, limit: int | None = None) -> list[Segment]:
+        segments: list[Segment] = []
+        budget = limit if limit is not None else math.inf
+        while (self._snd_nxt < self.total_packets
+               and self._snd_nxt - self._snd_una < int(self.effective_window())
+               and len(segments) < budget):
+            segments.append(self._build_segment(self._snd_nxt, now))
+            self._snd_nxt += 1
+        return segments
+
+    def _build_segment(self, packet_index: int, now: float, *,
+                       retransmission: bool = False) -> Segment:
+        mss = self.config.mss
+        seq = packet_index * mss
+        length = min(mss, max(self._total_bytes - seq, 0)) or mss
+        self._send_times[packet_index] = now
+        if retransmission:
+            self._retransmitted.add(packet_index)
+        return Segment(seq=seq, length=length, sent_at=now,
+                       packet_index=packet_index, is_retransmission=retransmission)
+
+    # --------------------------------------------------------------- timeout
+    def _arm_timer(self, now: float) -> None:
+        self._timer_deadline = now + self.rto.current_rto()
+
+    def on_timer(self, now: float) -> list[Segment]:
+        """Fire the retransmission timer if it has expired."""
+        if self._timer_deadline is None or now < self._timer_deadline:
+            return []
+        if not self.config.responds_to_timeout:
+            # Quirk: the server never retransmits (invalid-trace cause).
+            self._timer_deadline = None
+            return []
+        return self._retransmission_timeout(now)
+
+    def _retransmission_timeout(self, now: float) -> list[Segment]:
+        cwnd_before = self.state.cwnd
+        if self.config.use_frto:
+            self._frto_saved = (self.state.cwnd, self.state.ssthresh)
+            self._frto_state = 1
+        self.algorithm.on_timeout(self.state, now)
+        self.state.clamp()
+        self.rto.back_off()
+        self._had_timeout = True
+        self._last_timeout_time = now
+        self._in_recovery = False
+        self._dupack_count = 0
+        self._finished_timeouts.append(TimeoutEvent(
+            at=now, cwnd_before=cwnd_before, ssthresh_after=self.state.ssthresh))
+        # Go-back-N: retransmit the first unacknowledged packet.
+        segments = []
+        if self._snd_una < self._snd_nxt:
+            segments.append(self._build_segment(self._snd_una, now, retransmission=True))
+        self._round_end = self._snd_nxt
+        self._round_start_time = now
+        self._arm_timer(now)
+        return segments
+
+    # ------------------------------------------------------------- inspection
+    def snapshot(self) -> dict[str, float]:
+        """Small diagnostic snapshot used by examples and tests."""
+        return {
+            "cwnd": self.state.cwnd,
+            "ssthresh": self.state.ssthresh,
+            "snd_una": float(self._snd_una),
+            "snd_nxt": float(self._snd_nxt),
+            "min_rtt": self.state.min_rtt,
+            "srtt": self.state.srtt if self.state.srtt is not None else float("nan"),
+        }

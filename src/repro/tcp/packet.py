@@ -1,0 +1,79 @@
+"""Segment and ACK containers used by the TCP sender and the CAAI prober.
+
+CAAI estimates the congestion window of a remote server from the sequence
+numbers of the data packets it receives (Section IV-D of the paper), so the
+packet model keeps byte-level sequence numbers even though the sender
+internally works in MSS-sized units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A data segment sent by the server.
+
+    Attributes:
+        seq: byte sequence number of the first payload byte.
+        length: payload length in bytes (at most one MSS).
+        sent_at: simulation time at which the segment left the sender.
+        packet_index: zero-based index of the MSS-sized unit this segment
+            carries; CAAI reasons about windows in packets, so carrying the
+            index avoids repeated division at the prober.
+        is_retransmission: True when the segment repeats previously sent data.
+    """
+
+    seq: int
+    length: int
+    sent_at: float
+    packet_index: int
+    is_retransmission: bool = False
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last payload byte."""
+        return self.seq + self.length
+
+
+@dataclass(frozen=True)
+class Ack:
+    """A cumulative acknowledgment sent by the CAAI prober.
+
+    Attributes:
+        ack_seq: cumulative acknowledgment (next byte expected).
+        sent_at: time the prober emitted the ACK.
+        receive_window: advertised receive window in bytes after scaling.
+        is_duplicate: True for the duplicate ACK CAAI uses to defeat F-RTO.
+    """
+
+    ack_seq: int
+    sent_at: float
+    receive_window: int
+    is_duplicate: bool = False
+
+
+@dataclass
+class TransmissionRecord:
+    """Book-keeping entry for an in-flight packet (used for RTT sampling)."""
+
+    packet_index: int
+    sent_at: float
+    retransmitted: bool = False
+
+
+@dataclass
+class SegmentBatch:
+    """Segments emitted by the sender in reaction to a single input event."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def extend(self, more: list[Segment]) -> None:
+        self.segments.extend(more)
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)

@@ -1,0 +1,121 @@
+"""Registry of congestion avoidance algorithms and the Table I catalogue.
+
+The registry maps stable string names (used in configuration files, training
+sets and census results) to algorithm classes, and records which operating
+system families ship each algorithm -- the content of Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcp.algorithms import (
+    Bic,
+    CtcpA,
+    CtcpB,
+    CubicA,
+    CubicB,
+    HighSpeedTcp,
+    HTcp,
+    Hybla,
+    Illinois,
+    LowPriorityTcp,
+    Reno,
+    ScalableTcp,
+    Vegas,
+    Veno,
+    WestwoodPlus,
+    Yeah,
+)
+from repro.tcp.base import CongestionAvoidance
+
+_ALGORITHM_CLASSES: dict[str, type[CongestionAvoidance]] = {
+    cls.name: cls
+    for cls in (
+        Reno, Bic, CubicA, CubicB, CtcpA, CtcpB, HighSpeedTcp, HTcp,
+        Illinois, ScalableTcp, Vegas, Veno, WestwoodPlus, Yeah, Hybla,
+        LowPriorityTcp,
+    )
+}
+
+#: Names of every implemented algorithm (the Table I catalogue plus the two
+#: CUBIC/CTCP version splits the paper introduces).
+ALL_ALGORITHM_NAMES: tuple[str, ...] = tuple(sorted(_ALGORITHM_CLASSES))
+
+#: The 14 algorithms CAAI identifies (Section III-A), in the paper's order.
+IDENTIFIABLE_ALGORITHMS: tuple[str, ...] = (
+    "reno",
+    "bic",
+    "ctcp-a",
+    "ctcp-b",
+    "cubic-a",
+    "cubic-b",
+    "hstcp",
+    "htcp",
+    "illinois",
+    "stcp",
+    "vegas",
+    "veno",
+    "westwood",
+    "yeah",
+)
+
+#: Algorithms listed in Table I but excluded from identification because they
+#: are not designed for Web servers (HYBLA targets satellite links, LP targets
+#: background transfers).
+EXCLUDED_FROM_IDENTIFICATION: tuple[str, ...] = ("hybla", "lp")
+
+
+def create_algorithm(name: str) -> CongestionAvoidance:
+    """Instantiate a congestion avoidance algorithm by registry name."""
+    try:
+        cls = _ALGORITHM_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHM_CLASSES))
+        raise ValueError(f"unknown TCP algorithm {name!r}; known: {known}") from None
+    return cls()
+
+
+def algorithm_label(name: str) -> str:
+    """Human readable label for a registry name."""
+    return _ALGORITHM_CLASSES[name].label
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of the Table I catalogue."""
+
+    name: str
+    label: str
+    windows_family: bool
+    linux_family: bool
+    default_in: tuple[str, ...]
+
+
+def algorithm_catalog() -> list[CatalogEntry]:
+    """Return the Table I catalogue: availability per OS family.
+
+    Windows ships RENO and CTCP (CTCP being the default on server editions);
+    Linux ships everything else, with BIC then CUBIC as successive defaults.
+    """
+    defaults = {
+        "reno": ("Windows XP (client)", "older Linux kernels"),
+        "ctcp-a": ("Windows Server 2003", "Windows XP (64-bit)"),
+        "ctcp-b": ("Windows Server 2008", "Windows Vista", "Windows 7"),
+        "bic": ("Linux 2.6.8 - 2.6.18",),
+        "cubic-a": ("Linux 2.6.19 - 2.6.25",),
+        "cubic-b": ("Linux 2.6.26 and later",),
+    }
+    windows_only = {"ctcp-a", "ctcp-b"}
+    both = {"reno"}
+    entries = []
+    for name in ALL_ALGORITHM_NAMES:
+        cls = _ALGORITHM_CLASSES[name]
+        entries.append(CatalogEntry(
+            name=name,
+            label=cls.label,
+            windows_family=name in windows_only or name in both,
+            linux_family=name not in windows_only,
+            default_in=defaults.get(name, ()),
+        ))
+    return entries

@@ -1,0 +1,79 @@
+"""Tests for the analysis helpers (CDFs, tables, figure series)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.figures import ascii_series, cdf_series, summarize_cdf
+from repro.analysis.tables import format_percentage_table, format_table
+
+
+class TestEmpiricalCdf:
+    def test_basic_properties(self):
+        cdf = EmpiricalCdf.from_samples([3, 1, 2, 4])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(10) == 1.0
+        assert cdf.median() == pytest.approx(2.5)
+        assert len(cdf) == 4
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCdf.from_samples(rng.exponential(size=200))
+        assert np.all(np.diff(cdf.fractions) >= 0)
+        assert np.all(np.diff(cdf.values) >= 0)
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_max_difference_of_identical_cdfs_is_zero(self):
+        a = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        b = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert a.max_difference(b) == 0.0
+
+    def test_max_difference_detects_shift(self):
+        a = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        b = EmpiricalCdf.from_samples([11, 12, 13, 14])
+        assert a.max_difference(b) == pytest.approx(1.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([])
+
+
+class TestFigureHelpers:
+    def test_cdf_series_at_points(self):
+        series = cdf_series([1, 2, 3, 4], points=[0, 2, 5])
+        assert series == [(0.0, 0.0), (2.0, 0.5), (5.0, 1.0)]
+
+    def test_summary_quantiles(self):
+        summary = summarize_cdf(range(101), quantiles=(0.5, 0.9))
+        assert summary[0.5] == pytest.approx(50)
+        assert summary[0.9] == pytest.approx(90)
+
+    def test_ascii_series_renders(self):
+        art = ascii_series([1, 2, 4, 8, 16], label="demo")
+        assert "demo" in art
+        assert "#" in art
+
+    def test_ascii_series_empty(self):
+        assert ascii_series([]) == "(empty series)"
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "long-name" in text
+        assert len(lines) == 5
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_percentage_table(self):
+        text = format_percentage_table(["algo", "overall"], [("RENO", [3.312])])
+        assert "3.31" in text

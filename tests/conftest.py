@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefacts (a small training set and a classifier trained on it)
+are session-scoped so the many tests that need them build them exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import CaaiClassifier
+from repro.core.features import FeatureExtractor
+from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import NetworkCondition, default_condition_database
+from repro.tcp.connection import SenderConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ideal_condition() -> NetworkCondition:
+    return NetworkCondition.ideal()
+
+
+@pytest.fixture
+def extractor() -> FeatureExtractor:
+    return FeatureExtractor()
+
+
+@pytest.fixture
+def condition_database():
+    return default_condition_database(size=500, seed=1)
+
+
+def make_synthetic_server(algorithm: str, initial_window: int = 3,
+                          **sender_kwargs) -> SyntheticServer:
+    """Helper used across test modules to build a probeable server."""
+
+    def factory(mss: int) -> SenderConfig:
+        return SenderConfig(mss=mss, initial_window=initial_window, **sender_kwargs)
+
+    return SyntheticServer(algorithm_name=algorithm, sender_config_factory=factory)
+
+
+@pytest.fixture
+def server_factory():
+    return make_synthetic_server
+
+
+@pytest.fixture
+def gatherer_512() -> TraceGatherer:
+    return TraceGatherer(GatherConfig(w_timeout=512, mss=100))
+
+
+@pytest.fixture
+def gatherer_64() -> TraceGatherer:
+    return TraceGatherer(GatherConfig(w_timeout=64, mss=100))
+
+
+@pytest.fixture(scope="session")
+def small_training_set():
+    """A small but complete training set shared by classifier tests."""
+    builder = TrainingSetBuilder(
+        conditions_per_pair=4,
+        seed=11,
+        w_timeouts=(512, 64),
+        condition_database=default_condition_database(size=300, seed=4),
+    )
+    return builder.build_dataset()
+
+
+@pytest.fixture(scope="session")
+def trained_classifier(small_training_set) -> CaaiClassifier:
+    classifier = CaaiClassifier(n_trees=60, seed=5)
+    classifier.train(small_training_set)
+    return classifier

@@ -1,0 +1,101 @@
+"""Tests for the census runner and its result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.classifier import CaaiClassifier
+from repro.core.results import CensusReport, ServerOutcome
+from repro.core.trace import InvalidReason
+from repro.web.population import PopulationConfig, ServerPopulation
+
+
+@pytest.fixture(scope="module")
+def census_report(request):
+    trained = request.getfixturevalue("trained_classifier")
+    population = ServerPopulation(PopulationConfig(size=40, seed=23))
+    population.generate()
+    runner = CensusRunner(trained, CensusConfig(seed=1))
+    return runner.run(population), population
+
+
+class TestCensusRunner:
+    def test_requires_trained_classifier(self):
+        with pytest.raises(ValueError):
+            CensusRunner(CaaiClassifier())
+
+    def test_every_server_gets_an_outcome(self, census_report):
+        report, population = census_report
+        assert len(report) == len(population)
+
+    def test_outcomes_have_ground_truth_metadata(self, census_report):
+        report, _ = census_report
+        for outcome in report.outcomes:
+            assert outcome.true_algorithm
+            assert outcome.software
+            assert outcome.region
+
+    def test_valid_outcomes_have_categories(self, census_report):
+        report, _ = census_report
+        for outcome in report.valid_outcomes:
+            assert outcome.category
+            assert outcome.w_timeout in (512, 256, 128, 64)
+
+    def test_invalid_outcomes_have_reasons(self, census_report):
+        report, _ = census_report
+        for outcome in report.invalid_outcomes:
+            assert outcome.invalid_reason is not None
+
+    def test_some_servers_valid_and_some_not(self, census_report):
+        report, _ = census_report
+        assert 0.2 < report.valid_fraction() < 1.0
+
+    def test_classification_mostly_matches_ground_truth(self, census_report):
+        report, _ = census_report
+        assert report.accuracy_against_ground_truth() > 0.6
+
+
+class TestCensusReport:
+    def _synthetic_report(self):
+        report = CensusReport()
+        for i in range(6):
+            report.add(ServerOutcome(server_id=f"s{i}", valid=True, w_timeout=512,
+                                     category="cubic-b", true_algorithm="cubic-b"))
+        for i in range(2):
+            report.add(ServerOutcome(server_id=f"r{i}", valid=True, w_timeout=256,
+                                     category="reno", true_algorithm="reno"))
+        report.add(ServerOutcome(server_id="small", valid=True, w_timeout=64,
+                                 category="rc-small", true_algorithm="reno"))
+        report.add(ServerOutcome(server_id="bad", valid=False,
+                                 invalid_reason=InvalidReason.INSUFFICIENT_DATA))
+        return report
+
+    def test_percentages_sum_to_100_over_valid(self):
+        report = self._synthetic_report()
+        assert sum(report.category_percentages().values()) == pytest.approx(100.0)
+
+    def test_valid_fraction(self):
+        assert self._synthetic_report().valid_fraction() == pytest.approx(9 / 10)
+
+    def test_reno_bounds_include_rc_small(self):
+        lower, upper = self._synthetic_report().reno_share_bounds()
+        assert lower == pytest.approx(100 * 2 / 9)
+        assert upper == pytest.approx(100 * 3 / 9)
+
+    def test_w_timeout_shares(self):
+        shares = self._synthetic_report().w_timeout_shares()
+        assert shares[512] == pytest.approx(6 / 9)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_table_rows_structure(self):
+        rows = self._synthetic_report().table_rows()
+        labels = [label for label, _, _ in rows]
+        assert "CUBIC-B" in labels and "RENO-big" in labels and "RC-small" in labels
+        for _, per_w, overall in rows:
+            assert overall >= 0
+            assert set(per_w) == {512, 256, 64}
+
+    def test_per_column_percentages_relative_to_all_valid(self):
+        report = self._synthetic_report()
+        column = report.category_percentages(w_timeout=512)
+        assert column["cubic-b"] == pytest.approx(100 * 6 / 9)

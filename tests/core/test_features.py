@@ -1,0 +1,142 @@
+"""Tests for CAAI step 2: feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureExtractor, FeatureVector
+from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
+from tests.conftest import make_synthetic_server
+
+
+def trace_from_post(post, w_loss=1024.0, environment="A", w_timeout=512):
+    return WindowTrace(environment=environment, w_timeout=w_timeout, mss=100,
+                       pre_timeout=[2, 4, 8, w_loss], post_timeout=list(post))
+
+
+def reno_like_post(ssthresh=512.0, rounds=18):
+    post = [1.0]
+    window = 1.0
+    while len(post) < rounds:
+        if window < ssthresh:
+            window = min(window * 2, ssthresh)
+        else:
+            window += 1
+        post.append(window)
+    return post
+
+
+class TestFeatureVector:
+    def test_round_trip_through_array(self):
+        vector = FeatureVector(0.5, 3, 6, 0.5, 3, 6, 1)
+        assert FeatureVector.from_array(vector.as_array()) == vector
+        assert len(vector) == 7
+
+    def test_array_shape_validation(self):
+        with pytest.raises(ValueError):
+            FeatureVector.from_array(np.zeros(6))
+
+    def test_element_names_cover_all_elements(self):
+        assert len(FeatureVector.ELEMENT_NAMES) == 7
+
+
+class TestBoundaryAndBeta:
+    def test_reno_beta_half_and_growth_three(self):
+        extractor = FeatureExtractor()
+        features = extractor.extract_trace(trace_from_post(reno_like_post()))
+        assert features.beta == pytest.approx(0.5, abs=0.02)
+        assert features.growth_1 == pytest.approx(3, abs=0.5)
+        assert features.growth_2 >= features.growth_1
+
+    def test_large_beta_algorithm(self):
+        post = reno_like_post(ssthresh=896.0)   # STCP-like: beta 0.875
+        features = FeatureExtractor().extract_trace(trace_from_post(post))
+        assert features.beta == pytest.approx(0.875, abs=0.03)
+
+    def test_beta_zero_when_window_stays_low(self):
+        # WESTWOOD+-style trace: the window never approaches the pre-timeout
+        # window, so no boundary RTT can be found.
+        post = reno_like_post(ssthresh=60.0)
+        features = FeatureExtractor().extract_trace(trace_from_post(post))
+        assert features.beta == 0.0
+        assert features.growth_1 == 0.0
+        assert not features.boundary_found
+
+    def test_beta_clamped_to_bounds(self):
+        extractor = FeatureExtractor()
+        post = reno_like_post(ssthresh=512.0)
+        features = extractor.extract_trace(trace_from_post(post, w_loss=600.0))
+        assert 0.5 <= features.beta <= 2.0
+
+    def test_invalid_trace_rejected(self):
+        extractor = FeatureExtractor()
+        with pytest.raises(ValueError):
+            extractor.extract_trace(WindowTrace.invalid("A", 512, 100,
+                                                        InvalidReason.INSUFFICIENT_DATA))
+
+
+class TestAckLossEstimate:
+    def test_clean_slow_start_gives_minimum(self):
+        extractor = FeatureExtractor()
+        estimate = extractor.estimate_ack_loss(reno_like_post(), w_loss=1024.0)
+        assert estimate == pytest.approx(0.15)
+
+    def test_lossy_slow_start_raises_estimate(self):
+        # Growth of x1.5 per round instead of x2 implies about 50% ACK loss.
+        post = [1.0]
+        for _ in range(10):
+            post.append(post[-1] * 1.5)
+        estimate = FeatureExtractor().estimate_ack_loss(post, w_loss=2000.0)
+        assert estimate > 0.3
+
+    def test_estimate_clamped_to_maximum(self):
+        post = [4.0, 4.1, 4.2, 4.3, 4.4, 4.5]
+        estimate = FeatureExtractor().estimate_ack_loss(post, w_loss=1024.0)
+        assert estimate == pytest.approx(0.60)
+
+
+class TestFullVectors:
+    def test_extract_requires_valid_environment_a(self):
+        probe = ProbeTrace(
+            trace_a=WindowTrace.invalid("A", 512, 100, InvalidReason.INSUFFICIENT_DATA),
+            trace_b=trace_from_post(reno_like_post(), environment="B"),
+            w_timeout=512, mss=100)
+        with pytest.raises(ValueError):
+            FeatureExtractor().extract(probe)
+
+    def test_vegas_style_probe_sets_reach_flag(self):
+        probe = ProbeTrace(
+            trace_a=trace_from_post(reno_like_post()),
+            trace_b=WindowTrace("B", 512, 100, pre_timeout=[2, 4, 8, 16, 30],
+                                post_timeout=[], invalid_reason=None),
+            w_timeout=512, mss=100)
+        # Environment B never timed out; window stayed below 64.
+        probe.trace_b.invalid_reason = InvalidReason.WINDOW_BELOW_W_TIMEOUT
+        vector = FeatureExtractor().extract(probe)
+        assert vector.reach_b == 0.0
+        assert vector.beta_b == 0.0
+        assert vector.beta_a == pytest.approx(0.5, abs=0.02)
+
+    def test_reach_flag_set_when_window_exceeds_64(self):
+        probe = ProbeTrace(trace_a=trace_from_post(reno_like_post()),
+                           trace_b=trace_from_post(reno_like_post(), environment="B"),
+                           w_timeout=512, mss=100)
+        assert FeatureExtractor().extract(probe).reach_b == 1.0
+
+    def test_feature_vectors_similar_across_w_timeout_for_reno(self, ideal_condition, rng,
+                                                               gatherer_512, gatherer_64,
+                                                               extractor):
+        # Offsets make g1 insensitive to w_timeout (the paper's Section V-C):
+        # RENO's first growth offset is 3 whatever w_timeout is used.
+        server = make_synthetic_server("reno")
+        big = extractor.extract(gatherer_512.gather_probe(server, ideal_condition, rng))
+        small = extractor.extract(gatherer_64.gather_probe(server, ideal_condition, rng))
+        assert big.beta_a == pytest.approx(small.beta_a, abs=0.05)
+        assert big.growth_1_a == pytest.approx(small.growth_1_a, abs=1.0)
+
+
+class TestExtractorValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(boundary_search_start_fraction=0.0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(first_growth_offset=0)

@@ -1,0 +1,59 @@
+"""End-to-end identification tests: the headline capability of the paper.
+
+Under clean network conditions CAAI must identify every one of the 14 TCP
+algorithms from its probe (design goal 1), and it must do so for different
+server initial windows (design goal 2: insensitivity to other TCP components).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import training_label
+from repro.net.conditions import NetworkCondition
+from repro.tcp.registry import IDENTIFIABLE_ALGORITHMS
+from tests.conftest import make_synthetic_server
+
+
+@pytest.mark.parametrize("algorithm", IDENTIFIABLE_ALGORITHMS)
+def test_identifies_every_algorithm_on_clean_path(algorithm, trained_classifier,
+                                                  gatherer_512, ideal_condition, rng):
+    probe = gatherer_512.gather_probe(make_synthetic_server(algorithm),
+                                      ideal_condition, rng)
+    assert probe.usable_for_features
+    identification = trained_classifier.classify_probe(probe)
+    assert identification.label == training_label(algorithm, 512)
+
+
+@pytest.mark.parametrize("initial_window", [2, 4, 10])
+def test_insensitive_to_initial_window(initial_window, trained_classifier,
+                                        gatherer_512, ideal_condition, rng):
+    # Design goal 2: the initial window is not part of the congestion
+    # avoidance component and must not change the identification.
+    probe = gatherer_512.gather_probe(
+        make_synthetic_server("cubic-b", initial_window=initial_window),
+        ideal_condition, rng)
+    assert trained_classifier.classify_probe(probe).label == "cubic-b"
+
+
+def test_small_w_timeout_merges_reno_and_ctcp(trained_classifier, gatherer_64,
+                                              ideal_condition, rng):
+    for algorithm in ("reno", "ctcp-a"):
+        probe = gatherer_64.gather_probe(make_synthetic_server(algorithm),
+                                         ideal_condition, rng)
+        identification = trained_classifier.classify_probe(probe)
+        assert identification.label in ("rc-small", "reno", "ctcp-a", "ctcp-b")
+
+
+def test_mild_network_noise_mostly_tolerated(trained_classifier, gatherer_512, rng):
+    # Design goal 2: insensitivity to (moderate) network conditions.
+    condition = NetworkCondition(average_rtt=0.15, rtt_std=0.02, loss_rate=0.02)
+    correct = 0
+    algorithms = ("cubic-b", "bic", "westwood", "htcp", "stcp", "vegas")
+    for algorithm in algorithms:
+        probe = gatherer_512.gather_probe(make_synthetic_server(algorithm),
+                                          condition, rng)
+        if not probe.usable_for_features:
+            continue
+        if trained_classifier.classify_probe(probe).label == algorithm:
+            correct += 1
+    assert correct >= len(algorithms) - 2

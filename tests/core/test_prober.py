@@ -1,0 +1,66 @@
+"""Tests for the packet-level CAAI prober and its agreement with the
+round-level gatherer."""
+
+import numpy as np
+import pytest
+
+from repro.core.environments import ENVIRONMENT_A, ENVIRONMENT_B
+from repro.core.features import FeatureExtractor
+from repro.core.gather import GatherConfig, TraceGatherer
+from repro.core.prober import CaaiProber, ProberConfig, packet_level_trace
+from repro.core.trace import InvalidReason
+from repro.net.conditions import NetworkCondition
+from repro.tcp.connection import SenderConfig, TcpSender
+from repro.tcp.registry import create_algorithm
+from tests.conftest import make_synthetic_server
+
+
+class TestPacketLevelProbe:
+    def test_produces_valid_trace(self):
+        trace = packet_level_trace("reno", ENVIRONMENT_A, w_timeout=128)
+        assert trace.is_valid
+        assert trace.post_timeout[0] == pytest.approx(1)
+        assert len(trace.post_timeout) == 18
+
+    def test_environment_b_schedule_applied(self):
+        trace = packet_level_trace("illinois", ENVIRONMENT_B, w_timeout=128)
+        assert trace.is_valid
+
+    def test_insufficient_data_detected(self):
+        trace = packet_level_trace("reno", ENVIRONMENT_A, w_timeout=512,
+                                   data_bytes=20_000)
+        assert trace.invalid_reason is InvalidReason.INSUFFICIENT_DATA
+
+    def test_works_with_path_jitter_and_loss(self):
+        condition = NetworkCondition(average_rtt=0.12, rtt_std=0.02, loss_rate=0.01)
+        trace = packet_level_trace("cubic-b", ENVIRONMENT_A, condition=condition,
+                                   w_timeout=128, seed=3)
+        assert trace.is_valid or trace.invalid_reason is not None
+
+    def test_frto_server_handled(self):
+        prober = CaaiProber(ENVIRONMENT_A, NetworkCondition.ideal(),
+                            ProberConfig(w_timeout=128, mss=100))
+        sender = TcpSender(create_algorithm("reno"),
+                           SenderConfig(mss=100, initial_window=3, use_frto=True))
+        sender.enqueue_bytes(5_000_000)
+        trace = prober.probe(sender, frto_server=True)
+        assert trace.is_valid
+        # The duplicate ACK must have prevented a spurious-timeout rollback.
+        assert sender.spurious_timeouts == 0
+
+
+class TestAgreementWithRoundLevelEngine:
+    @pytest.mark.parametrize("algorithm", ["reno", "cubic-b", "bic", "stcp"])
+    def test_features_agree_on_clean_paths(self, algorithm, rng):
+        extractor = FeatureExtractor()
+        # Packet-level probe.
+        packet_trace = packet_level_trace(algorithm, ENVIRONMENT_A, w_timeout=256,
+                                          initial_window=3)
+        # Round-level probe of an identical server.
+        gatherer = TraceGatherer(GatherConfig(w_timeout=256, mss=100))
+        round_trace = gatherer.gather_trace(make_synthetic_server(algorithm),
+                                            ENVIRONMENT_A, NetworkCondition.ideal(), rng)
+        packet_features = extractor.extract_trace(packet_trace)
+        round_features = extractor.extract_trace(round_trace)
+        assert packet_features.beta == pytest.approx(round_features.beta, abs=0.05)
+        assert packet_features.growth_1 == pytest.approx(round_features.growth_1, abs=2.0)

@@ -1,0 +1,87 @@
+"""Tests for special-trace-case detection (Section VII-B3)."""
+
+import pytest
+
+from repro.core.special_cases import (
+    SpecialCase,
+    detect_shape_case,
+    detect_special_case,
+    detect_stalled_case,
+    special_case_label,
+)
+from repro.core.trace import ProbeTrace, WindowTrace
+
+
+def probe_with_post(post, w_loss=1024.0, w_timeout=512):
+    trace_a = WindowTrace(environment="A", w_timeout=w_timeout, mss=100,
+                          pre_timeout=[2, 4, 8, w_loss], post_timeout=list(post))
+    trace_b = WindowTrace(environment="B", w_timeout=w_timeout, mss=100,
+                          pre_timeout=[2, 4, 8, w_loss], post_timeout=list(post))
+    return ProbeTrace(trace_a=trace_a, trace_b=trace_b, w_timeout=w_timeout, mss=100)
+
+
+def normal_reno_post():
+    post = [1.0]
+    window = 1.0
+    while len(post) < 18:
+        window = min(window * 2, 512) if window < 512 else window + 1
+        post.append(window)
+    return post
+
+
+class TestRemainingAtOne:
+    def test_detected(self):
+        probe = probe_with_post([1.0] * 18)
+        assert detect_stalled_case(probe) is SpecialCase.REMAINING_AT_ONE
+        assert detect_special_case(probe) is SpecialCase.REMAINING_AT_ONE
+
+    def test_not_detected_for_normal_trace(self):
+        assert detect_stalled_case(probe_with_post(normal_reno_post())) is None
+
+
+class TestNonincreasing:
+    def test_detected(self):
+        post = [1, 2, 4, 8, 16, 32, 64] + [64] * 11
+        assert detect_stalled_case(probe_with_post(post)) is SpecialCase.NONINCREASING
+
+    def test_growing_trace_not_flagged(self):
+        assert detect_stalled_case(probe_with_post(normal_reno_post())) is None
+
+    def test_plateau_above_w_timeout_is_not_nonincreasing(self):
+        post = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 600] + [600] * 7
+        assert detect_stalled_case(probe_with_post(post)) is None
+
+
+class TestApproaching:
+    def test_detected(self):
+        # Fast growth that decelerates towards the pre-timeout window.
+        post = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 700, 830, 910, 960, 990,
+                1005, 1012, 1016]
+        assert detect_shape_case(probe_with_post(post)) is SpecialCase.APPROACHING
+
+    def test_linear_growth_not_flagged(self):
+        assert detect_shape_case(probe_with_post(normal_reno_post())) is None
+
+
+class TestBounded:
+    def test_detected(self):
+        post = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 600, 620] + [625] * 6
+        assert detect_shape_case(probe_with_post(post)) is SpecialCase.BOUNDED
+
+    def test_plateau_below_w_timeout_not_bounded(self):
+        post = [1, 2, 4, 8, 16, 32, 64, 128, 256, 400] + [401] * 8
+        assert detect_shape_case(probe_with_post(post)) is not SpecialCase.BOUNDED
+
+
+class TestMisc:
+    def test_invalid_trace_never_categorised(self):
+        from repro.core.trace import InvalidReason
+
+        trace = WindowTrace.invalid("A", 512, 100, InvalidReason.INSUFFICIENT_DATA)
+        probe = ProbeTrace(trace_a=trace, trace_b=trace, w_timeout=512, mss=100)
+        assert detect_special_case(probe) is None
+        assert detect_stalled_case(probe) is None
+
+    def test_labels_exist_for_every_case(self):
+        for case in SpecialCase:
+            assert special_case_label(case)

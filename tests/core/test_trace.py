@@ -1,0 +1,72 @@
+"""Tests for window traces and probe traces."""
+
+import pytest
+
+from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
+
+
+def valid_trace(environment="A", w_timeout=512, post=None):
+    return WindowTrace(environment=environment, w_timeout=w_timeout, mss=100,
+                       pre_timeout=[2, 4, 8, 16, 1024],
+                       post_timeout=post or [1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                             512, 513, 514, 515, 516, 517, 518, 519, 520])
+
+
+class TestWindowTrace:
+    def test_valid_trace(self):
+        trace = valid_trace()
+        assert trace.is_valid
+        assert trace.w_loss == 1024
+        assert trace.initial_window == 2
+        assert len(trace) == 23
+
+    def test_short_post_timeout_is_invalid(self):
+        trace = valid_trace(post=[1, 2, 4])
+        assert not trace.is_valid
+
+    def test_invalid_constructor(self):
+        trace = WindowTrace.invalid("A", 512, 100, InvalidReason.MSS_REJECTED)
+        assert not trace.is_valid
+        assert trace.invalid_reason is InvalidReason.MSS_REJECTED
+        with pytest.raises(ValueError):
+            _ = trace.w_loss
+
+    def test_max_post_timeout_window(self):
+        assert valid_trace().max_post_timeout_window == 520
+
+    def test_all_windows_concatenates(self):
+        trace = valid_trace()
+        assert trace.all_windows()[:5] == [2, 4, 8, 16, 1024]
+
+
+class TestProbeTrace:
+    def test_valid_probe(self):
+        probe = ProbeTrace(trace_a=valid_trace("A"), trace_b=valid_trace("B"),
+                           w_timeout=512, mss=100)
+        assert probe.is_valid
+        assert probe.usable_for_features
+        assert probe.invalid_reason is None
+
+    def test_invalid_environment_a_makes_probe_unusable(self):
+        probe = ProbeTrace(
+            trace_a=WindowTrace.invalid("A", 512, 100, InvalidReason.INSUFFICIENT_DATA),
+            trace_b=valid_trace("B"), w_timeout=512, mss=100)
+        assert not probe.is_valid
+        assert not probe.usable_for_features
+        assert probe.invalid_reason is InvalidReason.INSUFFICIENT_DATA
+
+    def test_vegas_style_environment_b_still_usable(self):
+        # Environment B never reaching the timeout is itself a signature.
+        probe = ProbeTrace(
+            trace_a=valid_trace("A"),
+            trace_b=WindowTrace.invalid("B", 512, 100, InvalidReason.WINDOW_BELOW_W_TIMEOUT),
+            w_timeout=512, mss=100)
+        assert not probe.is_valid
+        assert probe.usable_for_features
+
+    def test_other_environment_b_failures_not_usable(self):
+        probe = ProbeTrace(
+            trace_a=valid_trace("A"),
+            trace_b=WindowTrace.invalid("B", 512, 100, InvalidReason.NO_TIMEOUT_RESPONSE),
+            w_timeout=512, mss=100)
+        assert not probe.usable_for_features

@@ -1,0 +1,147 @@
+"""Tests for the decision tree, random forest, k-NN and naive Bayes classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import LabeledDataset
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.knn import KNearestNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayesClassifier
+from repro.ml.random_forest import RandomForestClassifier
+
+
+def separable_dataset(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for label, centre in (("red", (0.0, 0.0)), ("green", (5.0, 5.0)), ("blue", (0.0, 8.0))):
+        for _ in range(n):
+            rows.append((rng.normal(loc=centre, scale=0.5), label))
+    return LabeledDataset.from_rows(rows)
+
+
+def overlapping_dataset(n=60, seed=1):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for label, centre in (("x", 0.0), ("y", 1.0)):
+        for _ in range(n):
+            rows.append((rng.normal(loc=centre, scale=1.0, size=3), label))
+    return LabeledDataset.from_rows(rows)
+
+
+ALL_CLASSIFIERS = [
+    lambda: DecisionTreeClassifier(),
+    lambda: RandomForestClassifier(n_trees=25, max_features=2, seed=1),
+    lambda: KNearestNeighborsClassifier(k=5),
+    lambda: GaussianNaiveBayesClassifier(),
+]
+
+
+class TestAllClassifiers:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_fits_separable_data_perfectly(self, factory):
+        dataset = separable_dataset()
+        classifier = factory().fit(dataset)
+        predictions = classifier.predict(dataset.features)
+        accuracy = np.mean([str(p) == str(t) for p, t in zip(predictions, dataset.labels)])
+        assert accuracy > 0.97
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_predictions_are_known_labels(self, factory):
+        dataset = overlapping_dataset()
+        classifier = factory().fit(dataset)
+        for prediction in classifier.predict(dataset.features[:20]):
+            assert str(prediction) in {"x", "y"}
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_unfitted_classifier_raises(self, factory):
+        with pytest.raises((RuntimeError, ValueError)):
+            factory().predict(np.zeros((1, 3)))
+
+
+class TestDecisionTree:
+    def test_single_class_gives_leaf(self):
+        rows = [(np.array([1.0, 2.0]), "only")] * 10
+        tree = DecisionTreeClassifier().fit(LabeledDataset.from_rows(rows))
+        assert tree.depth() == 0
+        assert tree.predict_one(np.array([0.0, 0.0])) == "only"
+
+    def test_max_depth_respected(self):
+        tree = DecisionTreeClassifier(max_depth=2).fit(separable_dataset())
+        assert tree.depth() <= 2
+
+    def test_node_count_positive(self):
+        tree = DecisionTreeClassifier().fit(separable_dataset())
+        assert tree.node_count() >= 3
+
+    def test_random_subspace_changes_trees(self):
+        dataset = separable_dataset(n=30)
+        tree_a = DecisionTreeClassifier(max_features=1, rng=np.random.default_rng(1)).fit(dataset)
+        tree_b = DecisionTreeClassifier(max_features=1, rng=np.random.default_rng(9)).fit(dataset)
+        assert tree_a.node_count() > 0 and tree_b.node_count() > 0
+
+
+class TestRandomForest:
+    def test_confidence_is_vote_fraction(self):
+        forest = RandomForestClassifier(n_trees=20, max_features=2, seed=0)
+        forest.fit(separable_dataset())
+        result = forest.vote_one(np.array([0.0, 0.0]))
+        assert result.label == "red"
+        assert 0.0 < result.confidence <= 1.0
+        assert sum(result.votes.values()) == 20
+
+    def test_confidence_lower_in_overlap_region(self):
+        forest = RandomForestClassifier(n_trees=40, max_features=2, seed=0)
+        forest.fit(overlapping_dataset())
+        boundary = forest.vote_one(np.array([0.5, 0.5, 0.5]))
+        clear = forest.vote_one(np.array([-2.0, -2.0, -2.0]))
+        assert clear.confidence >= boundary.confidence
+
+    def test_predict_proba_rows_sum_to_one(self):
+        forest = RandomForestClassifier(n_trees=15, max_features=2, seed=0)
+        dataset = separable_dataset()
+        forest.fit(dataset)
+        probabilities = forest.predict_proba(dataset.features[:5])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_paper_default_parameters(self):
+        forest = RandomForestClassifier()
+        assert forest.n_trees == 80
+        assert forest.max_features == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0).fit(separable_dataset())
+        with pytest.raises(ValueError):
+            RandomForestClassifier(max_features=0).fit(separable_dataset())
+
+    def test_deterministic_for_seed(self):
+        dataset = overlapping_dataset()
+        a = RandomForestClassifier(n_trees=10, seed=3).fit(dataset).predict(dataset.features)
+        b = RandomForestClassifier(n_trees=10, seed=3).fit(dataset).predict(dataset.features)
+        assert list(a) == list(b)
+
+
+class TestKnnAndBayes:
+    def test_knn_standardisation_handles_scale_mismatch(self):
+        rng = np.random.default_rng(2)
+        rows = []
+        for label, centre in (("a", 0.0), ("b", 1.0)):
+            for _ in range(40):
+                # Second feature is on a vastly larger scale but uninformative.
+                rows.append((np.array([rng.normal(centre, 0.1), rng.normal(0, 1000.0)]), label))
+        dataset = LabeledDataset.from_rows(rows)
+        knn = KNearestNeighborsClassifier(k=5).fit(dataset)
+        predictions = knn.predict(dataset.features)
+        accuracy = np.mean([str(p) == str(t) for p, t in zip(predictions, dataset.labels)])
+        assert accuracy > 0.9
+
+    def test_naive_bayes_handles_constant_feature(self):
+        rows = [(np.array([0.0, float(i % 2)]), "a") for i in range(10)]
+        rows += [(np.array([5.0, float(i % 2)]), "b") for i in range(10)]
+        bayes = GaussianNaiveBayesClassifier().fit(LabeledDataset.from_rows(rows))
+        assert bayes.predict_one(np.array([0.1, 1.0])) == "a"
+        assert bayes.predict_one(np.array([4.9, 0.0])) == "b"
+
+    def test_knn_k_validation(self):
+        with pytest.raises(ValueError):
+            KNearestNeighborsClassifier(k=0).fit(separable_dataset())

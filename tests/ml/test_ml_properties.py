@@ -1,0 +1,67 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.dataset import LabeledDataset
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+
+
+@st.composite
+def small_datasets(draw):
+    n_classes = draw(st.integers(min_value=2, max_value=4))
+    n_features = draw(st.integers(min_value=1, max_value=5))
+    n_per_class = draw(st.integers(min_value=3, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    rows = []
+    for c in range(n_classes):
+        for _ in range(n_per_class):
+            rows.append((rng.normal(loc=float(c), scale=1.0, size=n_features), f"class{c}"))
+    return LabeledDataset.from_rows(rows)
+
+
+class TestTreeProperties:
+    @given(dataset=small_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_predictions_always_in_training_label_set(self, dataset):
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(0)).fit(dataset)
+        grid = np.linspace(-5, 10, 7)
+        for value in grid:
+            vector = np.full(dataset.n_features, value)
+            assert tree.predict_one(vector) in set(dataset.classes())
+
+    @given(dataset=small_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_at_least_majority_baseline(self, dataset):
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(0)).fit(dataset)
+        predictions = tree.predict(dataset.features)
+        accuracy = np.mean([str(p) == str(t) for p, t in zip(predictions, dataset.labels)])
+        counts = dataset.class_counts()
+        majority = max(counts.values()) / len(dataset)
+        assert accuracy >= majority - 1e-9
+
+
+class TestForestProperties:
+    @given(dataset=small_datasets(), n_trees=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_confidence_in_unit_interval(self, dataset, n_trees):
+        forest = RandomForestClassifier(n_trees=n_trees, max_features=1, seed=2)
+        forest.fit(dataset)
+        result = forest.vote_one(dataset.features[0])
+        assert 0.0 < result.confidence <= 1.0
+        assert sum(result.votes.values()) == n_trees
+
+    @given(vectors=hnp.arrays(dtype=float, shape=(3, 4),
+                              elements=st.floats(-100, 100, allow_nan=False)))
+    @settings(max_examples=20, deadline=None)
+    def test_forest_handles_arbitrary_query_points(self, vectors):
+        rng = np.random.default_rng(0)
+        rows = [(rng.normal(size=4), "a") for _ in range(10)]
+        rows += [(rng.normal(loc=3.0, size=4), "b") for _ in range(10)]
+        forest = RandomForestClassifier(n_trees=5, max_features=2, seed=1)
+        forest.fit(LabeledDataset.from_rows(rows))
+        for prediction in forest.predict(vectors):
+            assert prediction in {"a", "b"}

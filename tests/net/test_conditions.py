@@ -1,0 +1,74 @@
+"""Tests for the network-condition database (Figs. 4, 10, 11 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.net.conditions import (
+    ConditionDatabase,
+    NetworkCondition,
+    default_condition_database,
+)
+
+
+class TestNetworkCondition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkCondition(average_rtt=0.0, rtt_std=0.0, loss_rate=0.0)
+        with pytest.raises(ValueError):
+            NetworkCondition(average_rtt=0.1, rtt_std=-0.1, loss_rate=0.0)
+        with pytest.raises(ValueError):
+            NetworkCondition(average_rtt=0.1, rtt_std=0.0, loss_rate=1.0)
+
+    def test_ideal_condition_is_clean(self):
+        condition = NetworkCondition.ideal()
+        assert condition.loss_rate == 0.0
+        assert condition.rtt_std == 0.0
+
+
+class TestDefaultDatabase:
+    def test_size(self):
+        database = default_condition_database(size=1000, seed=1)
+        assert len(database) == 1000
+
+    def test_deterministic_for_seed(self):
+        a = default_condition_database(size=200, seed=3)
+        b = default_condition_database(size=200, seed=3)
+        assert np.allclose(a.average_rtts, b.average_rtts)
+
+    def test_rtts_below_emulated_rtt(self):
+        # The paper picks a 1.0 s emulated RTT because essentially all real
+        # RTTs are below 0.8 s (Fig. 4).
+        database = default_condition_database(size=3000, seed=2)
+        assert database.average_rtts.max() < 0.8
+        values, fractions = database.rtt_cdf()
+        below_400ms = fractions[np.searchsorted(values, 0.4)]
+        assert below_400ms > 0.85
+
+    def test_rtt_std_mostly_small(self):
+        database = default_condition_database(size=3000, seed=2)
+        assert np.median(database.rtt_stds) < 0.05
+
+    def test_loss_rates_mostly_tiny(self):
+        database = default_condition_database(size=3000, seed=2)
+        assert np.median(database.loss_rates) < 0.01
+        assert database.loss_rates.max() <= 0.15
+
+    def test_sampling_draws_valid_conditions(self):
+        database = default_condition_database(size=500, seed=2)
+        rng = np.random.default_rng(0)
+        for condition in database.sample_many(50, rng):
+            assert 0 < condition.average_rtt < 0.8
+            assert 0 <= condition.loss_rate < 1
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionDatabase(average_rtts=np.array([]), rtt_stds=np.array([]),
+                              loss_rates=np.array([]))
+
+    def test_cdf_monotone(self):
+        database = default_condition_database(size=500, seed=2)
+        for values, fractions in (database.rtt_cdf(), database.rtt_std_cdf(),
+                                  database.loss_cdf()):
+            assert np.all(np.diff(values) >= 0)
+            assert np.all(np.diff(fractions) >= 0)
+            assert fractions[-1] == pytest.approx(1.0)

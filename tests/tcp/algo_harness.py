@@ -1,0 +1,63 @@
+"""Small driver used by the per-algorithm unit tests.
+
+It exercises a congestion avoidance algorithm directly against a
+:class:`~repro.tcp.base.CongestionState`, without the full sender state
+machine, so each test controls exactly what the algorithm sees: the RTT of
+every round, the number of ACKs per round, and when timeouts happen.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+
+def make_state(cwnd: float = 100.0, ssthresh: float = 50.0, mss: int = 100,
+               rtt: float = 1.0) -> CongestionState:
+    """A state already in congestion avoidance with an established RTT."""
+    state = CongestionState(mss=mss, cwnd=cwnd, ssthresh=ssthresh)
+    state.latest_rtt = rtt
+    state.srtt = rtt
+    state.min_rtt = rtt
+    state.max_rtt = rtt
+    return state
+
+
+def run_avoidance_round(algorithm: CongestionAvoidance, state: CongestionState,
+                        now: float, rtt: float) -> float:
+    """Run one congestion-avoidance round (cwnd ACKs) and return the new cwnd."""
+    state.latest_rtt = rtt
+    state.min_rtt = min(state.min_rtt, rtt)
+    state.max_rtt = max(state.max_rtt, rtt)
+    acks = max(int(state.cwnd), 1)
+    for _ in range(acks):
+        ctx = AckContext(now=now, rtt_sample=rtt, newly_acked_packets=1)
+        algorithm.on_ack_avoidance(state, ctx)
+    state.last_round_rtt = rtt
+    algorithm.on_round_complete(
+        state, AckContext(now=now, rtt_sample=rtt, newly_acked_packets=0,
+                          round_completed=True))
+    state.avoidance_rounds += 1
+    return state.cwnd
+
+
+def run_avoidance(algorithm: CongestionAvoidance, state: CongestionState,
+                  rounds: int, rtt: float = 1.0, start_time: float = 0.0) -> list[float]:
+    """Run several rounds; returns the cwnd after each round."""
+    algorithm.on_connection_start(state)
+    state.last_congestion_time = start_time
+    trajectory = []
+    now = start_time
+    for _ in range(rounds):
+        now += rtt
+        trajectory.append(run_avoidance_round(algorithm, state, now, rtt))
+    return trajectory
+
+
+def measured_beta(algorithm: CongestionAvoidance, cwnd: float,
+                  rtt: float = 1.0, max_rtt: float | None = None) -> float:
+    """The multiplicative decrease the algorithm would apply at window ``cwnd``."""
+    state = make_state(cwnd=cwnd, ssthresh=cwnd / 2, rtt=rtt)
+    if max_rtt is not None:
+        state.max_rtt = max_rtt
+    algorithm.on_connection_start(state)
+    return algorithm.ssthresh_after_loss(state) / cwnd

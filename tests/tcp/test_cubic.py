@@ -1,0 +1,84 @@
+"""Tests for CUBIC congestion avoidance (both deployed versions)."""
+
+import pytest
+
+from repro.tcp.algorithms import CubicA, CubicB
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestMultiplicativeDecrease:
+    def test_cubic_a_uses_0_8(self):
+        assert measured_beta(CubicA(), cwnd=1000) == pytest.approx(819 / 1024, rel=1e-3)
+
+    def test_cubic_b_uses_0_7(self):
+        assert measured_beta(CubicB(), cwnd=1000) == pytest.approx(717 / 1024, rel=1e-3)
+
+    def test_versions_differ(self):
+        # The paper distinguishes the two deployed CUBIC versions.
+        assert measured_beta(CubicA(), cwnd=1000) > measured_beta(CubicB(), cwnd=1000)
+
+
+class TestCubicGrowth:
+    def _post_loss_state(self, cls, w_max=400.0):
+        algorithm = cls()
+        state = make_state(cwnd=w_max, ssthresh=w_max / 2)
+        algorithm.on_connection_start(state)
+        ssthresh = algorithm.ssthresh_after_loss(state)
+        state.cwnd = ssthresh
+        state.ssthresh = ssthresh
+        return algorithm, state
+
+    def test_concave_growth_towards_w_max(self):
+        algorithm, state = self._post_loss_state(CubicB)
+        trajectory = []
+        now = 0.0
+        state.last_congestion_time = now
+        from tests.tcp.algo_harness import run_avoidance_round
+        for _ in range(12):
+            now += 1.0
+            trajectory.append(run_avoidance_round(algorithm, state, now, 1.0))
+        assert trajectory[-1] > trajectory[0]
+        increments = [b - a for a, b in zip(trajectory, trajectory[1:])]
+        # Cubic shape: growth slows down around the plateau at w_max (the
+        # minimum increment happens mid-trace, not at the start), and the
+        # plateau itself sits near the pre-loss window.
+        plateau_index = increments.index(min(increments[1:])) + 1
+        assert 1 <= plateau_index <= 10
+        assert min(increments[1:]) < increments[0]
+        assert trajectory[plateau_index] == pytest.approx(400.0, rel=0.25)
+
+    def test_growth_depends_on_rtt(self):
+        # The cubic window is a function of absolute time, so a shorter RTT
+        # means more growth per round -- a property CAAI's environment B is
+        # designed to expose.
+        short = run_avoidance(CubicB(), make_state(cwnd=100, ssthresh=50, rtt=0.2),
+                              rounds=8, rtt=0.2)
+        long = run_avoidance(CubicB(), make_state(cwnd=100, ssthresh=50, rtt=1.0),
+                             rounds=8, rtt=1.0)
+        assert short[-1] != pytest.approx(long[-1], rel=0.01)
+
+    def test_never_negative_or_below_floor(self):
+        algorithm, state = self._post_loss_state(CubicA, w_max=50.0)
+        trajectory = run_avoidance(algorithm, state, rounds=10)
+        assert all(value >= 1.0 for value in trajectory)
+
+    def test_k_positive_after_loss_below_w_max(self):
+        algorithm = CubicB()
+        state = make_state(cwnd=500, ssthresh=250)
+        algorithm.on_connection_start(state)
+        algorithm.ssthresh_after_loss(state)
+        state.cwnd = 350.0
+        run_avoidance(algorithm, state, rounds=1)
+        assert algorithm.k >= 0.0
+
+
+class TestFastConvergence:
+    def test_w_last_max_reduced_on_consecutive_losses(self):
+        algorithm = CubicB()
+        state = make_state(cwnd=1000, ssthresh=500)
+        algorithm.on_connection_start(state)
+        algorithm.ssthresh_after_loss(state)
+        first = algorithm.w_last_max
+        state.cwnd = 700.0
+        algorithm.ssthresh_after_loss(state)
+        assert algorithm.w_last_max < first

@@ -1,0 +1,46 @@
+"""Tests for HighSpeed TCP (RFC 3649)."""
+
+import pytest
+
+from repro.tcp.algorithms import HighSpeedTcp
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestResponseFunction:
+    def test_reno_behaviour_below_low_window(self):
+        algorithm = HighSpeedTcp()
+        assert algorithm.additive_increase(20) == pytest.approx(1.0)
+        assert algorithm.decrease_parameter(20) == pytest.approx(0.5)
+
+    def test_decrease_parameter_shrinks_with_window(self):
+        algorithm = HighSpeedTcp()
+        assert algorithm.decrease_parameter(100) > algorithm.decrease_parameter(10_000)
+
+    def test_decrease_parameter_bounds(self):
+        algorithm = HighSpeedTcp()
+        for window in (10, 100, 1000, 100_000, 1_000_000):
+            b = algorithm.decrease_parameter(window)
+            assert 0.1 <= b <= 0.5
+
+    def test_additive_increase_grows_with_window(self):
+        algorithm = HighSpeedTcp()
+        assert algorithm.additive_increase(10_000) > algorithm.additive_increase(100) > 0
+
+    def test_beta_between_half_and_0_9(self):
+        # The paper quotes HSTCP's beta (= 1 - b(w)) as between 0.5 and 0.9.
+        assert 0.5 <= measured_beta(HighSpeedTcp(), cwnd=100) <= 0.9
+        assert 0.5 <= measured_beta(HighSpeedTcp(), cwnd=50_000) <= 0.9
+        assert measured_beta(HighSpeedTcp(), cwnd=50_000) > measured_beta(
+            HighSpeedTcp(), cwnd=100)
+
+
+class TestGrowth:
+    def test_faster_than_reno_at_large_windows(self):
+        state = make_state(cwnd=1000, ssthresh=500)
+        trajectory = run_avoidance(HighSpeedTcp(), state, rounds=5)
+        assert trajectory[-1] - 1000 > 5 * 2
+
+    def test_reno_like_at_small_windows(self):
+        state = make_state(cwnd=20, ssthresh=10)
+        trajectory = run_avoidance(HighSpeedTcp(), state, rounds=5)
+        assert trajectory[-1] == pytest.approx(25, abs=1.0)

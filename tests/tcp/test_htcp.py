@@ -1,0 +1,45 @@
+"""Tests for H-TCP."""
+
+import pytest
+
+from repro.tcp.algorithms import HTcp
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestIncreaseFunction:
+    def test_reno_like_within_first_second(self):
+        algorithm = HTcp()
+        state = make_state(cwnd=100, ssthresh=50)
+        algorithm.on_connection_start(state)
+        state.last_congestion_time = 0.0
+        assert algorithm.increase_factor(state, now=0.5) == pytest.approx(1.0)
+
+    def test_increase_grows_with_time_since_congestion(self):
+        algorithm = HTcp()
+        state = make_state(cwnd=100, ssthresh=50)
+        algorithm.on_connection_start(state)
+        state.last_congestion_time = 0.0
+        early = algorithm.increase_factor(state, now=2.0)
+        late = algorithm.increase_factor(state, now=10.0)
+        assert late > early > 1.0
+
+    def test_window_accelerates_over_rounds(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(HTcp(), state, rounds=10)
+        increments = [b - a for a, b in zip(trajectory, trajectory[1:])]
+        assert increments[-1] > increments[0]
+
+
+class TestAdaptiveBackoff:
+    def test_beta_bounded(self):
+        beta = measured_beta(HTcp(), cwnd=500)
+        assert 0.5 <= beta <= 0.8
+
+    def test_beta_uses_rtt_ratio(self):
+        # With max RTT twice the min RTT the ratio is 0.5.
+        beta = measured_beta(HTcp(), cwnd=500, rtt=0.5, max_rtt=1.0)
+        assert beta == pytest.approx(0.5, abs=0.01)
+
+    def test_beta_clamped_to_0_8_for_stable_rtt(self):
+        beta = measured_beta(HTcp(), cwnd=500, rtt=1.0, max_rtt=1.0)
+        assert beta == pytest.approx(0.8, abs=0.01)

@@ -1,0 +1,52 @@
+"""Tests for the Table I algorithms excluded from identification (HYBLA, LP)."""
+
+import pytest
+
+from repro.tcp.algorithms import Hybla, LowPriorityTcp
+from repro.tcp.base import AckContext
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestHybla:
+    def test_growth_scales_with_rtt(self):
+        long_rtt = run_avoidance(Hybla(), make_state(cwnd=50, ssthresh=25, rtt=0.5),
+                                 rounds=3, rtt=0.5)
+        short_rtt = run_avoidance(Hybla(), make_state(cwnd=50, ssthresh=25, rtt=0.025),
+                                  rounds=3, rtt=0.025)
+        assert long_rtt[-1] > short_rtt[-1]
+
+    def test_rho_capped(self):
+        state = make_state(cwnd=50, ssthresh=25, rtt=10.0)
+        trajectory = run_avoidance(Hybla(), state, rounds=1, rtt=10.0)
+        assert trajectory[0] - 50 <= Hybla.max_rho ** 2 + 1
+
+    def test_beta_is_half(self):
+        assert measured_beta(Hybla(), cwnd=500) == pytest.approx(0.5)
+
+    def test_slow_start_boost(self):
+        algorithm = Hybla()
+        state = make_state(cwnd=4, ssthresh=100, rtt=0.25)
+        algorithm.on_ack_slow_start(state, AckContext(now=1.0, rtt_sample=0.25,
+                                                      newly_acked_packets=1))
+        assert state.cwnd > 5.0  # more than the standard +1
+
+
+class TestLowPriority:
+    def test_reno_like_without_competition(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(LowPriorityTcp(), state, rounds=4)
+        assert trajectory[-1] == pytest.approx(104, abs=0.5)
+
+    def test_backs_off_when_delay_builds(self):
+        algorithm = LowPriorityTcp()
+        state = make_state(cwnd=100, ssthresh=50, rtt=0.5)
+        state.max_rtt = 1.0
+        algorithm.on_connection_start(state)
+        # Feed sustained high-delay ACKs: LP infers competing traffic.
+        for i in range(50):
+            algorithm.on_ack_avoidance(state, AckContext(now=float(i), rtt_sample=1.0,
+                                                         newly_acked_packets=1))
+        assert state.cwnd < 100
+
+    def test_beta_is_half(self):
+        assert measured_beta(LowPriorityTcp(), cwnd=500) == pytest.approx(0.5)

@@ -1,0 +1,71 @@
+"""Tests for TCP-Illinois."""
+
+import pytest
+
+from repro.tcp.algorithms import Illinois
+from tests.tcp.algo_harness import make_state, run_avoidance
+
+
+class TestDelayAdaptiveIncrease:
+    def test_aggressive_on_uncongested_path(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        trajectory = run_avoidance(Illinois(), state, rounds=6)
+        # alpha should reach alpha_max = 10 packets per RTT with no delay.
+        assert trajectory[-1] - 200 > 6 * 5
+
+    def test_conservative_when_delay_is_high(self):
+        algorithm = Illinois()
+        state = make_state(cwnd=200, ssthresh=100, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=3, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        # One transition round lets the algorithm observe the RTT inflation.
+        run_avoidance_round(algorithm, state, now=10.0, rtt=1.0)
+        before = state.cwnd
+        for i in range(4):
+            run_avoidance_round(algorithm, state, now=11.0 + i, rtt=1.0)
+        late_growth = (state.cwnd - before) / 4
+        assert late_growth < 2.0
+
+    def test_tiny_delay_jitter_is_ignored(self):
+        # Sub-millisecond RTT noise must not be treated as queueing delay.
+        algorithm = Illinois()
+        state = make_state(cwnd=200, ssthresh=100, rtt=1.0)
+        run_avoidance(algorithm, state, rounds=2, rtt=1.0)
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=3.0, rtt=1.0 + 2e-7)
+        assert algorithm.current_alpha == pytest.approx(Illinois.alpha_max)
+
+
+class TestDelayAdaptiveDecrease:
+    def test_small_backoff_without_delay(self):
+        algorithm = Illinois()
+        state = make_state(cwnd=500, ssthresh=250)
+        run_avoidance(algorithm, state, rounds=3)
+        beta = algorithm.ssthresh_after_loss(state) / state.cwnd
+        assert beta == pytest.approx(1.0 - Illinois.beta_min, abs=0.01)
+
+    def test_reno_like_backoff_with_high_delay(self):
+        algorithm = Illinois()
+        state = make_state(cwnd=500, ssthresh=250, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=3, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        for i in range(3):
+            run_avoidance_round(algorithm, state, now=10.0 + i, rtt=1.0)
+        beta = algorithm.ssthresh_after_loss(state) / state.cwnd
+        assert beta == pytest.approx(1.0 - Illinois.beta_max, abs=0.05)
+
+    def test_paper_claim_beta_differs_between_environments(self):
+        # Environment A (constant RTT) and B (RTT step) must yield different
+        # multiplicative decrease parameters -- Section IV-B.
+        flat = Illinois()
+        state_flat = make_state(cwnd=500, ssthresh=250)
+        run_avoidance(flat, state_flat, rounds=3)
+        stepped = Illinois()
+        state_stepped = make_state(cwnd=500, ssthresh=250, rtt=0.8)
+        run_avoidance(stepped, state_stepped, rounds=3, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        for i in range(3):
+            run_avoidance_round(stepped, state_stepped, now=10.0 + i, rtt=1.0)
+        beta_flat = flat.ssthresh_after_loss(state_flat) / state_flat.cwnd
+        beta_stepped = stepped.ssthresh_after_loss(state_stepped) / state_stepped.cwnd
+        assert beta_flat > beta_stepped + 0.2

@@ -1,0 +1,61 @@
+"""Tests for TCP option handling (MSS ladder, window scaling)."""
+
+import pytest
+
+from repro.tcp.options import (
+    CAAI_MSS_LADDER,
+    CAAI_RECEIVE_WINDOW_FIELD,
+    CAAI_WINDOW_SCALE,
+    SynOptions,
+    negotiate_mss,
+    scaled_receive_window,
+)
+
+
+class TestMssLadder:
+    def test_ladder_matches_paper_order(self):
+        assert CAAI_MSS_LADDER == (100, 300, 536, 1460)
+
+    def test_ladder_is_increasing(self):
+        assert list(CAAI_MSS_LADDER) == sorted(CAAI_MSS_LADDER)
+
+
+class TestWindowScaling:
+    def test_scaled_window_is_about_one_gigabyte(self):
+        window = scaled_receive_window(CAAI_RECEIVE_WINDOW_FIELD, CAAI_WINDOW_SCALE)
+        assert window == 65_535 << 14
+        assert window > 10 ** 9
+
+    def test_scale_must_be_within_rfc_limit(self):
+        with pytest.raises(ValueError):
+            scaled_receive_window(1000, 15)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_receive_window(-1, 10)
+
+
+class TestSynOptions:
+    def test_receive_window_bytes(self):
+        options = SynOptions(mss=100)
+        assert options.receive_window_bytes == 65_535 << 14
+
+    def test_mss_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SynOptions(mss=0)
+
+
+class TestNegotiateMss:
+    def test_accepts_when_at_or_above_minimum(self):
+        assert negotiate_mss(100, server_minimum_mss=100) == 100
+        assert negotiate_mss(300, server_minimum_mss=100) == 300
+
+    def test_rejects_below_minimum(self):
+        assert negotiate_mss(100, server_minimum_mss=536) is None
+
+    def test_clamps_to_server_maximum(self):
+        assert negotiate_mss(9000, server_minimum_mss=100, server_maximum_mss=1460) == 1460
+
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            negotiate_mss(0, server_minimum_mss=100)

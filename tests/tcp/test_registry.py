@@ -1,0 +1,64 @@
+"""Tests for the algorithm registry and the Table I catalogue."""
+
+import pytest
+
+from repro.tcp.base import CongestionAvoidance
+from repro.tcp.registry import (
+    ALL_ALGORITHM_NAMES,
+    EXCLUDED_FROM_IDENTIFICATION,
+    IDENTIFIABLE_ALGORITHMS,
+    algorithm_catalog,
+    algorithm_label,
+    create_algorithm,
+)
+
+
+class TestRegistry:
+    def test_fourteen_identifiable_algorithms(self):
+        # Section III-A: CAAI considers a total of 14 TCP algorithms.
+        assert len(IDENTIFIABLE_ALGORITHMS) == 14
+
+    def test_identifiable_and_excluded_are_disjoint(self):
+        assert not set(IDENTIFIABLE_ALGORITHMS) & set(EXCLUDED_FROM_IDENTIFICATION)
+
+    def test_all_names_creatable(self):
+        for name in ALL_ALGORITHM_NAMES:
+            algorithm = create_algorithm(name)
+            assert isinstance(algorithm, CongestionAvoidance)
+            assert algorithm.name == name
+
+    def test_instances_are_independent(self):
+        a = create_algorithm("cubic-b")
+        b = create_algorithm("cubic-b")
+        assert a is not b
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown TCP algorithm"):
+            create_algorithm("quic")
+
+    def test_labels_exist_for_all(self):
+        for name in ALL_ALGORITHM_NAMES:
+            assert algorithm_label(name)
+
+    def test_hybla_and_lp_excluded(self):
+        assert set(EXCLUDED_FROM_IDENTIFICATION) == {"hybla", "lp"}
+
+
+class TestCatalog:
+    def test_catalog_covers_every_algorithm(self):
+        catalog = algorithm_catalog()
+        assert {entry.name for entry in catalog} == set(ALL_ALGORITHM_NAMES)
+
+    def test_ctcp_is_windows_only(self):
+        catalog = {entry.name: entry for entry in algorithm_catalog()}
+        assert catalog["ctcp-a"].windows_family and not catalog["ctcp-a"].linux_family
+        assert catalog["ctcp-b"].windows_family and not catalog["ctcp-b"].linux_family
+
+    def test_cubic_is_linux_default(self):
+        catalog = {entry.name: entry for entry in algorithm_catalog()}
+        assert catalog["cubic-b"].linux_family
+        assert any("2.6.26" in default for default in catalog["cubic-b"].default_in)
+
+    def test_reno_available_on_both_families(self):
+        catalog = {entry.name: entry for entry in algorithm_catalog()}
+        assert catalog["reno"].windows_family and catalog["reno"].linux_family

@@ -1,0 +1,47 @@
+"""Tests for RENO congestion avoidance."""
+
+import pytest
+
+from repro.tcp.algorithms import Reno
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestGrowth:
+    def test_one_packet_per_rtt(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(Reno(), state, rounds=5)
+        assert trajectory[0] == pytest.approx(101, abs=0.1)
+        assert trajectory[4] == pytest.approx(105, abs=0.5)
+
+    def test_growth_independent_of_rtt(self):
+        slow = run_avoidance(Reno(), make_state(cwnd=50, ssthresh=25), rounds=4, rtt=1.0)
+        fast = run_avoidance(Reno(), make_state(cwnd=50, ssthresh=25), rounds=4, rtt=0.1)
+        assert slow == pytest.approx(fast, abs=0.1)
+
+    def test_growth_is_linear_not_exponential(self):
+        state = make_state(cwnd=10, ssthresh=5)
+        trajectory = run_avoidance(Reno(), state, rounds=10)
+        assert trajectory[-1] < 2 * 10  # far below doubling
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_half(self):
+        assert measured_beta(Reno(), cwnd=1000) == pytest.approx(0.5)
+
+    def test_beta_independent_of_window(self):
+        assert measured_beta(Reno(), cwnd=64) == pytest.approx(0.5)
+        assert measured_beta(Reno(), cwnd=4096) == pytest.approx(0.5)
+
+    def test_timeout_collapses_window_to_one(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        reno = Reno()
+        reno.on_timeout(state, now=10.0)
+        assert state.cwnd == 1.0
+        assert state.ssthresh == pytest.approx(100.0)
+        assert state.last_congestion_time == 10.0
+
+    def test_loss_event_halves_window(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        Reno().on_loss_event(state, now=10.0)
+        assert state.cwnd == pytest.approx(100.0)
+        assert state.ssthresh == pytest.approx(100.0)

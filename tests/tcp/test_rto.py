@@ -1,0 +1,87 @@
+"""Tests for the RFC 6298 retransmission timeout estimator."""
+
+import pytest
+
+from repro.tcp.rto import RtoEstimator
+
+
+class TestInitialBehaviour:
+    def test_initial_rto_used_before_samples(self):
+        estimator = RtoEstimator(initial_rto=3.0)
+        assert estimator.current_rto() == pytest.approx(3.0)
+
+    def test_initial_rto_is_in_papers_range(self):
+        # The paper relies on initial timeouts between 2.5 and 6.0 seconds.
+        estimator = RtoEstimator()
+        assert 2.5 <= estimator.current_rto() <= 6.0
+
+
+class TestSampling:
+    def test_first_sample_initialises_srtt(self):
+        estimator = RtoEstimator()
+        estimator.observe(1.0)
+        assert estimator.srtt == pytest.approx(1.0)
+        assert estimator.rttvar == pytest.approx(0.5)
+
+    def test_constant_samples_converge_to_sample(self):
+        estimator = RtoEstimator()
+        for _ in range(200):
+            estimator.observe(1.0)
+        assert estimator.srtt == pytest.approx(1.0, rel=1e-6)
+        # With stable samples the RTO floors out at srtt + min_variance_term,
+        # comfortably above the RTT but below environment A's next round.
+        assert estimator.current_rto() == pytest.approx(1.0 + estimator.min_variance_term,
+                                                        abs=0.05)
+
+    def test_rto_exceeds_srtt(self):
+        estimator = RtoEstimator()
+        for sample in (0.5, 0.6, 0.4, 0.5):
+            estimator.observe(sample)
+        assert estimator.current_rto() > estimator.srtt
+
+    def test_rto_bounded_by_max(self):
+        estimator = RtoEstimator(max_rto=10.0)
+        estimator.observe(100.0)
+        assert estimator.current_rto() <= 10.0
+
+    def test_rto_bounded_by_min(self):
+        estimator = RtoEstimator(min_rto=0.2)
+        for _ in range(50):
+            estimator.observe(0.001)
+        assert estimator.current_rto() >= 0.2
+
+    def test_non_positive_sample_rejected(self):
+        estimator = RtoEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(0.0)
+
+
+class TestBackoff:
+    def test_backoff_doubles_rto(self):
+        estimator = RtoEstimator()
+        for _ in range(100):
+            estimator.observe(1.0)
+        base = estimator.current_rto()
+        estimator.back_off()
+        assert estimator.current_rto() == pytest.approx(2 * base, rel=0.01)
+
+    def test_backoff_capped_by_max_rto(self):
+        estimator = RtoEstimator(max_rto=60.0)
+        estimator.observe(1.0)
+        for _ in range(100):
+            estimator.back_off()
+        assert estimator.current_rto() <= 60.0
+
+    def test_huge_backoff_does_not_overflow(self):
+        estimator = RtoEstimator()
+        estimator.observe(1.0)
+        for _ in range(5000):
+            estimator.back_off()
+        assert estimator.current_rto() <= estimator.max_rto
+
+    def test_new_sample_resets_backoff(self):
+        estimator = RtoEstimator()
+        estimator.observe(1.0)
+        estimator.back_off()
+        estimator.observe(1.0)
+        assert estimator.backoff_exponent == 0

@@ -1,0 +1,34 @@
+"""Tests for Scalable TCP."""
+
+import pytest
+
+from repro.tcp.algorithms import ScalableTcp
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestGrowth:
+    def test_exponential_growth_above_low_window(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        trajectory = run_avoidance(ScalableTcp(), state, rounds=5)
+        # Each round adds about 1% per ACK, i.e. the growth is proportional to
+        # the window itself.
+        expected = 200 * (1.01 ** 5)
+        assert trajectory[-1] == pytest.approx(expected, rel=0.02)
+
+    def test_reno_like_below_low_window(self):
+        state = make_state(cwnd=10, ssthresh=5)
+        trajectory = run_avoidance(ScalableTcp(), state, rounds=4)
+        assert trajectory[-1] == pytest.approx(14, abs=1.0)
+
+    def test_growth_rate_scales_with_window(self):
+        small = run_avoidance(ScalableTcp(), make_state(cwnd=100, ssthresh=50), rounds=1)
+        large = run_avoidance(ScalableTcp(), make_state(cwnd=1000, ssthresh=500), rounds=1)
+        assert (large[0] - 1000) > (small[0] - 100) * 5
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_0_875(self):
+        assert measured_beta(ScalableTcp(), cwnd=1000) == pytest.approx(0.875)
+
+    def test_beta_is_half_below_low_window(self):
+        assert measured_beta(ScalableTcp(), cwnd=10) == pytest.approx(0.5)

@@ -1,0 +1,64 @@
+"""Tests for the slow start policies (standard and hybrid)."""
+
+import pytest
+
+from repro.tcp.base import CongestionState
+from repro.tcp.slow_start import HybridSlowStart, StandardSlowStart, make_slow_start
+
+
+class TestStandardSlowStart:
+    def test_one_packet_per_ack(self):
+        state = CongestionState(mss=100, cwnd=4, ssthresh=100)
+        policy = StandardSlowStart()
+        for _ in range(4):
+            policy.on_ack(state, now=0.0, rtt_sample=1.0)
+        assert state.cwnd == 8.0
+
+
+class TestHybridSlowStart:
+    def _run_round(self, policy, state, now, window, rtt, spacing):
+        policy.on_round_start(state, now)
+        for i in range(window):
+            policy.on_ack(state, now + i * spacing, rtt)
+
+    def test_behaves_like_standard_in_caai_environment(self):
+        # The paper's claim (Section V-A): with a long, constant emulated RTT
+        # and burst-spaced ACKs, hybrid slow start never exits early.
+        state = CongestionState(mss=100, cwnd=2, ssthresh=512)
+        state.min_rtt = 1.0
+        policy = HybridSlowStart()
+        now = 0.0
+        window = 2
+        while window < 256:
+            self._run_round(policy, state, now, window, rtt=1.0, spacing=0.001)
+            now += 1.0
+            window *= 2
+        assert state.ssthresh == 512  # never pulled down
+
+    def test_exits_on_rtt_increase(self):
+        state = CongestionState(mss=100, cwnd=64, ssthresh=10_000)
+        state.min_rtt = 0.05
+        policy = HybridSlowStart()
+        policy.on_round_start(state, 0.0)
+        for i in range(16):
+            policy.on_ack(state, now=0.001 * i, rtt_sample=0.2)  # inflated RTT
+        assert state.ssthresh <= state.cwnd
+
+    def test_no_exit_below_low_window(self):
+        state = CongestionState(mss=100, cwnd=4, ssthresh=10_000)
+        state.min_rtt = 0.05
+        policy = HybridSlowStart()
+        policy.on_round_start(state, 0.0)
+        for i in range(10):
+            policy.on_ack(state, now=0.001 * i, rtt_sample=0.5)
+        assert state.ssthresh == 10_000
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_slow_start("standard"), StandardSlowStart)
+        assert isinstance(make_slow_start("hybrid"), HybridSlowStart)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_slow_start("quickstart")

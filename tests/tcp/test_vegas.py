@@ -1,0 +1,56 @@
+"""Tests for TCP Vegas."""
+
+import pytest
+
+from repro.tcp.algorithms import Vegas
+from repro.tcp.base import AckContext
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestCongestionAvoidance:
+    def test_grows_one_per_rtt_without_queueing(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(Vegas(), state, rounds=5)
+        assert trajectory[-1] == pytest.approx(105, abs=0.5)
+
+    def test_holds_window_when_backlog_in_band(self):
+        algorithm = Vegas()
+        state = make_state(cwnd=30, ssthresh=15, rtt=1.0)
+        state.min_rtt = 0.9  # backlog = 30 * 0.1 / 1.0 = 3, between alpha and beta
+        trajectory = run_avoidance(algorithm, state, rounds=4)
+        assert trajectory[-1] == pytest.approx(30, abs=0.1)
+
+    def test_decreases_window_when_backlog_high(self):
+        algorithm = Vegas()
+        state = make_state(cwnd=100, ssthresh=50, rtt=1.0)
+        state.min_rtt = 0.8  # backlog = 100 * 0.2 = 20 > beta
+        trajectory = run_avoidance(algorithm, state, rounds=4)
+        assert trajectory[-1] < 100
+
+
+class TestSlowStartExit:
+    def test_exits_slow_start_when_rtt_inflates(self):
+        algorithm = Vegas()
+        state = make_state(cwnd=16, ssthresh=1000, rtt=1.0)
+        state.min_rtt = 0.8
+        state.last_round_rtt = 1.0
+        assert state.in_slow_start()
+        algorithm.on_round_complete(state, AckContext(now=5.0, rtt_sample=1.0,
+                                                      newly_acked_packets=0,
+                                                      round_completed=True))
+        assert state.ssthresh <= 16
+        assert not state.in_slow_start()
+
+    def test_stays_in_slow_start_without_queueing(self):
+        algorithm = Vegas()
+        state = make_state(cwnd=16, ssthresh=1000, rtt=1.0)
+        state.last_round_rtt = 1.0
+        algorithm.on_round_complete(state, AckContext(now=5.0, rtt_sample=1.0,
+                                                      newly_acked_packets=0,
+                                                      round_completed=True))
+        assert state.ssthresh == 1000
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_half(self):
+        assert measured_beta(Vegas(), cwnd=500) == pytest.approx(0.5)

@@ -1,0 +1,57 @@
+"""Tests for TCP Veno."""
+
+import pytest
+
+from repro.tcp.algorithms import Veno
+from tests.tcp.algo_harness import make_state, run_avoidance
+
+
+class TestBacklogEstimate:
+    def test_no_backlog_on_flat_rtt(self):
+        algorithm = Veno()
+        state = make_state(cwnd=100, ssthresh=50)
+        run_avoidance(algorithm, state, rounds=3)
+        assert algorithm.backlog == pytest.approx(0.0, abs=1e-6)
+
+    def test_backlog_grows_with_rtt_inflation(self):
+        algorithm = Veno()
+        state = make_state(cwnd=100, ssthresh=50, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=2, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=10.0, rtt=1.0)
+        assert algorithm.backlog > Veno.backlog_threshold
+
+
+class TestGrowth:
+    def test_reno_rate_when_uncongested(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(Veno(), state, rounds=4)
+        assert trajectory[-1] == pytest.approx(104, abs=0.5)
+
+    def test_half_rate_when_congested(self):
+        algorithm = Veno()
+        state = make_state(cwnd=100, ssthresh=50, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=1, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=5.0, rtt=1.0)  # builds backlog
+        before = state.cwnd
+        for i in range(4):
+            run_avoidance_round(algorithm, state, now=6.0 + i, rtt=1.0)
+        growth = state.cwnd - before
+        assert growth == pytest.approx(2.0, abs=0.8)  # about half of RENO's 4
+
+
+class TestMultiplicativeDecrease:
+    def test_gentle_backoff_for_random_loss(self):
+        algorithm = Veno()
+        state = make_state(cwnd=200, ssthresh=100)
+        run_avoidance(algorithm, state, rounds=2)
+        assert algorithm.ssthresh_after_loss(state) / state.cwnd == pytest.approx(0.8)
+
+    def test_reno_backoff_for_congestive_loss(self):
+        algorithm = Veno()
+        state = make_state(cwnd=200, ssthresh=100, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=2, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=8.0, rtt=1.0)
+        assert algorithm.ssthresh_after_loss(state) / state.cwnd == pytest.approx(0.5)

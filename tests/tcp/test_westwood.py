@@ -1,0 +1,58 @@
+"""Tests for TCP Westwood+."""
+
+import pytest
+
+from repro.tcp.algorithms import WestwoodPlus
+from tests.tcp.algo_harness import make_state, run_avoidance
+
+
+class TestBandwidthEstimate:
+    def test_estimate_tracks_delivery_rate(self):
+        algorithm = WestwoodPlus()
+        state = make_state(cwnd=100, ssthresh=50)
+        run_avoidance(algorithm, state, rounds=20)
+        # Roughly 100 packets per 1-second round.
+        assert algorithm.bandwidth_estimate == pytest.approx(100, rel=0.5)
+
+    def test_estimate_decays_over_idle_periods(self):
+        algorithm = WestwoodPlus()
+        state = make_state(cwnd=100, ssthresh=50)
+        run_avoidance(algorithm, state, rounds=10)
+        before = algorithm.bandwidth_estimate
+        # A long silent period (an emulated RTO) inserts idle samples.
+        algorithm.on_timeout(state, now=100.0)
+        assert algorithm.bandwidth_estimate < before
+
+
+class TestBackoff:
+    def test_ssthresh_is_bandwidth_delay_product(self):
+        algorithm = WestwoodPlus()
+        state = make_state(cwnd=100, ssthresh=50)
+        run_avoidance(algorithm, state, rounds=20)
+        ssthresh = algorithm.ssthresh_after_loss(state)
+        expected = algorithm.bandwidth_estimate * state.min_rtt
+        assert ssthresh == pytest.approx(expected, rel=1e-6)
+
+    def test_falls_back_to_halving_without_estimate(self):
+        algorithm = WestwoodPlus()
+        state = make_state(cwnd=100, ssthresh=50)
+        algorithm.on_connection_start(state)
+        assert algorithm.ssthresh_after_loss(state) == pytest.approx(50)
+
+    def test_paper_claim_post_timeout_window_stays_low(self):
+        # The CAAI probe's long silence starves the estimator, so the
+        # post-timeout ssthresh is a small fraction of the pre-timeout window
+        # (the behaviour behind beta = 0 in Fig. 3(m)).
+        algorithm = WestwoodPlus()
+        state = make_state(cwnd=2.0, ssthresh=2.0)
+        run_avoidance(algorithm, state, rounds=6)   # small early windows only
+        state.cwnd = 1024.0
+        algorithm.on_timeout(state, now=200.0)
+        assert state.ssthresh < 0.35 * 1024
+
+
+class TestGrowth:
+    def test_reno_like_increase(self):
+        state = make_state(cwnd=100, ssthresh=50)
+        trajectory = run_avoidance(WestwoodPlus(), state, rounds=5)
+        assert trajectory[-1] == pytest.approx(105, abs=1.0)

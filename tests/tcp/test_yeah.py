@@ -1,0 +1,47 @@
+"""Tests for YeAH-TCP."""
+
+import pytest
+
+from repro.tcp.algorithms import Yeah
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+class TestModes:
+    def test_fast_mode_grows_like_scalable(self):
+        state = make_state(cwnd=200, ssthresh=100)
+        trajectory = run_avoidance(Yeah(), state, rounds=5)
+        expected = 200 * (1.01 ** 5)
+        assert trajectory[-1] == pytest.approx(expected, rel=0.05)
+
+    def test_switches_to_slow_mode_when_rtt_inflates(self):
+        algorithm = Yeah()
+        state = make_state(cwnd=200, ssthresh=100, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=2, rtt=0.8)
+        assert algorithm.in_fast_mode
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=10.0, rtt=1.0)
+        assert not algorithm.in_fast_mode
+
+    def test_precautionary_decongestion_drains_queue(self):
+        algorithm = Yeah()
+        state = make_state(cwnd=600, ssthresh=300, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=2, rtt=0.8)
+        before = state.cwnd
+        from tests.tcp.algo_harness import run_avoidance_round
+        # Backlog = 600 * 0.2 = 120 > max_queue (80): the window must shrink.
+        run_avoidance_round(algorithm, state, now=10.0, rtt=1.0)
+        assert state.cwnd < before
+
+
+class TestMultiplicativeDecrease:
+    def test_beta_is_seven_eighths_with_empty_queue(self):
+        assert measured_beta(Yeah(), cwnd=800) == pytest.approx(0.875, abs=0.01)
+
+    def test_backoff_removes_estimated_queue(self):
+        algorithm = Yeah()
+        state = make_state(cwnd=800, ssthresh=400, rtt=0.8)
+        run_avoidance(algorithm, state, rounds=2, rtt=0.8)
+        from tests.tcp.algo_harness import run_avoidance_round
+        run_avoidance_round(algorithm, state, now=10.0, rtt=1.0)
+        beta = algorithm.ssthresh_after_loss(state) / state.cwnd
+        assert beta < 0.875
