@@ -10,7 +10,12 @@ The ``REPRO_SCALE`` environment variable controls the workload size:
   minutes; percentages and shapes are stable because every server/condition is
   an independent draw.
 * ``paper`` -- the paper's sample counts (5600 training vectors, a census of
-  thousands of servers). Expect hours of runtime in pure Python.
+  thousands of servers).
+
+``REPRO_BACKEND`` (``serial`` / ``process``) and ``REPRO_WORKERS`` select the
+execution backend for the census and training workloads; results are
+bit-identical across backends, so the parallel knobs only change wall-clock
+time.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.core.classifier import CaaiClassifier
 from repro.core.training import TrainingSetBuilder
 from repro.ml.dataset import LabeledDataset
 from repro.net.conditions import default_condition_database
+from repro.parallel import ParallelExecutor
 from repro.web.population import PopulationConfig, ServerPopulation
 
 
@@ -61,6 +67,14 @@ def current_scale() -> Scale:
     return SCALES[name]
 
 
+def current_executor() -> ParallelExecutor:
+    """Executor for the parallel workloads, from REPRO_BACKEND / REPRO_WORKERS."""
+    backend = os.environ.get("REPRO_BACKEND", "serial").lower()
+    workers = os.environ.get("REPRO_WORKERS")
+    return ParallelExecutor(backend=backend,
+                            max_workers=int(workers) if workers else None)
+
+
 @lru_cache(maxsize=1)
 def condition_database():
     scale = current_scale()
@@ -75,7 +89,7 @@ def training_set() -> LabeledDataset:
         seed=7,
         condition_database=condition_database(),
     )
-    return builder.build_dataset()
+    return builder.build_dataset(executor=current_executor())
 
 
 @lru_cache(maxsize=1)
@@ -97,7 +111,8 @@ def census_population() -> ServerPopulation:
 
 @lru_cache(maxsize=1)
 def census_report():
-    runner = CensusRunner(trained_classifier(), CensusConfig(seed=99))
+    runner = CensusRunner(trained_classifier(), CensusConfig(seed=99),
+                          executor=current_executor())
     return runner.run(census_population())
 
 

@@ -13,6 +13,16 @@ For every server in the (synthetic) population the census:
 
 The aggregated :class:`~repro.core.results.CensusReport` is the reproduction
 of Table IV plus the server-information summaries of Section VII-B1.
+
+Execution is organised in two phases so both hot paths scale:
+
+* the **probe phase** (steps 1-4) is embarrassingly parallel; every server
+  gets its own deterministic random stream (:func:`repro.parallel.task_seeds`)
+  and the work fans out over a :class:`~repro.parallel.ParallelExecutor`
+  (serial or multiprocessing -- bit-identical reports either way);
+* the **classification phase** (steps 5-6) routes every pending feature
+  vector through the forest in one vectorised batch
+  (:meth:`~repro.core.classifier.CaaiClassifier.classify_vectors`).
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from repro.core.labels import UNSURE
 from repro.core.results import CensusReport, ServerOutcome
 from repro.core.special_cases import detect_shape_case, detect_stalled_case
 from repro.core.trace import InvalidReason, ProbeTrace
+from repro.parallel import ParallelExecutor, task_seeds
 from repro.web.crawler import PageSearchTool
 from repro.web.population import ServerPopulation, ServerRecord
 
@@ -42,6 +53,93 @@ class CensusConfig:
     crawler_page_budget: int = 120
     #: Skip the crawler and request the default page directly (ablation).
     use_page_search: bool = True
+    #: Execution backend for the probe phase (``serial`` / ``process``).
+    backend: str = "serial"
+    #: Worker processes for the ``process`` backend (``None`` = one per CPU).
+    max_workers: int | None = None
+
+
+def probe_server(record: ServerRecord, crawler: PageSearchTool,
+                 config: CensusConfig,
+                 rng: np.random.Generator) -> tuple[ServerOutcome, ProbeTrace | None]:
+    """Steps 1-4 for one server: crawl, negotiate, probe, pre-categorise.
+
+    Returns the partially filled outcome plus the probe when the outcome still
+    needs the classification phase (``None`` otherwise). Module-level so
+    worker processes can run it without shipping the trained forest.
+    """
+    server = record.server
+    profile = record.profile
+    outcome = ServerOutcome(
+        server_id=profile.server_id,
+        valid=False,
+        true_algorithm=profile.effective_algorithm(),
+        software=profile.software,
+        region=profile.region,
+    )
+
+    # Step 1: find a long page (Section IV-E).
+    if config.use_page_search:
+        crawl = crawler.search(server.site)
+        server.probe_path = crawl.best_path
+    else:
+        server.probe_path = server.site.default_path
+
+    # Step 2: MSS negotiation (Table II).
+    mss = negotiate_probe_mss(server)
+    if mss is None:
+        outcome.invalid_reason = InvalidReason.MSS_REJECTED
+        return outcome, None
+    outcome.mss = mss
+
+    # Step 3: probe with the w_timeout ladder.
+    probe = probe_with_w_timeout_ladder(
+        server, record.condition, rng, mss,
+        server_id=profile.server_id,
+        wait_between_environments=config.wait_between_environments)
+    if not probe.usable_for_features:
+        outcome.invalid_reason = _invalid_reason(probe, profile)
+        return outcome, None
+
+    outcome.valid = True
+    outcome.w_timeout = probe.w_timeout
+
+    # Step 4: traces with no congestion-avoidance growth at all never occur
+    # on the testbed and are filtered out before classification.
+    special = detect_stalled_case(probe)
+    if special is not None:
+        outcome.special_case = special
+        outcome.category = special.value
+        return outcome, None
+
+    return outcome, probe
+
+
+def _invalid_reason(probe: ProbeTrace, profile) -> InvalidReason:
+    reason = probe.invalid_reason or InvalidReason.INSUFFICIENT_DATA
+    if reason is InvalidReason.INSUFFICIENT_DATA and profile.max_pipelined_requests <= 3:
+        # The paper distinguishes "page too short" from "server accepts
+        # only one or a few pipelined requests"; the observable symptom is
+        # the same (the transfer stops early), so use the server property.
+        return InvalidReason.TOO_FEW_REQUESTS
+    return reason
+
+
+# Per-worker state for the probe phase; set once per process by the executor's
+# initializer so tasks only carry (record, seed).
+_PROBE_WORKER: dict = {}
+
+
+def _init_probe_worker(config: CensusConfig) -> None:
+    _PROBE_WORKER["config"] = config
+    _PROBE_WORKER["crawler"] = PageSearchTool(page_budget=config.crawler_page_budget)
+
+
+def _probe_task(task: tuple[ServerRecord, np.random.SeedSequence]
+                ) -> tuple[ServerOutcome, ProbeTrace | None]:
+    record, seed = task
+    return probe_server(record, _PROBE_WORKER["crawler"], _PROBE_WORKER["config"],
+                        np.random.default_rng(seed))
 
 
 @dataclass
@@ -50,6 +148,8 @@ class CensusRunner:
 
     classifier: CaaiClassifier
     config: CensusConfig = field(default_factory=CensusConfig)
+    #: Overrides the backend/worker knobs of :attr:`config` when provided.
+    executor: ParallelExecutor | None = None
 
     def __post_init__(self) -> None:
         if not self.classifier.is_trained:
@@ -57,87 +157,56 @@ class CensusRunner:
 
     # ------------------------------------------------------------------ API
     def run(self, population: ServerPopulation) -> CensusReport:
-        """Probe every server in the population and aggregate the outcomes."""
+        """Probe every server in the population and aggregate the outcomes.
+
+        Every server draws from its own seed-derived random stream, so the
+        report is identical for the serial and multiprocessing backends.
+        """
         if not population.records:
             population.generate()
-        rng = np.random.default_rng(self.config.seed)
+        records = population.records
+        executor = self.executor or ParallelExecutor(
+            backend=self.config.backend, max_workers=self.config.max_workers)
+        tasks = list(zip(records, task_seeds(self.config.seed, len(records))))
+        partials = executor.map(_probe_task, tasks,
+                                initializer=_init_probe_worker,
+                                initargs=(self.config,))
+        pending = [(outcome, probe) for outcome, probe in partials if probe is not None]
+        self._classify_pending(pending)
         report = CensusReport()
-        crawler = PageSearchTool(page_budget=self.config.crawler_page_budget)
-        for record in population.records:
-            report.add(self.measure_server(record, crawler, rng))
+        for outcome, _ in partials:
+            report.add(outcome)
         return report
 
     def measure_server(self, record: ServerRecord, crawler: PageSearchTool,
                        rng: np.random.Generator) -> ServerOutcome:
         """Measure a single server: crawl, probe, categorise."""
-        server = record.server
-        profile = record.profile
-        outcome = ServerOutcome(
-            server_id=profile.server_id,
-            valid=False,
-            true_algorithm=profile.effective_algorithm(),
-            software=profile.software,
-            region=profile.region,
-        )
-
-        # Step 1: find a long page (Section IV-E).
-        if self.config.use_page_search:
-            crawl = crawler.search(server.site)
-            server.probe_path = crawl.best_path
-        else:
-            server.probe_path = server.site.default_path
-
-        # Step 2: MSS negotiation (Table II).
-        mss = negotiate_probe_mss(server)
-        if mss is None:
-            outcome.invalid_reason = InvalidReason.MSS_REJECTED
-            return outcome
-        outcome.mss = mss
-
-        # Step 3: probe with the w_timeout ladder.
-        probe = probe_with_w_timeout_ladder(
-            server, record.condition, rng, mss,
-            server_id=profile.server_id,
-            wait_between_environments=self.config.wait_between_environments)
-        if not probe.usable_for_features:
-            outcome.invalid_reason = self._invalid_reason(probe, profile)
-            return outcome
-
-        outcome.valid = True
-        outcome.w_timeout = probe.w_timeout
-
-        # Step 4: traces with no congestion-avoidance growth at all never
-        # occur on the testbed and are filtered out before classification.
-        special = detect_stalled_case(probe)
-        if special is not None:
-            outcome.special_case = special
-            outcome.category = special.value
-            return outcome
-
-        # Step 5: random forest classification with the confidence threshold.
-        identification = self.classifier.classify_probe(probe)
-        outcome.confidence = identification.confidence
-        if not identification.unsure:
-            outcome.category = identification.label
-            return outcome
-
-        # Step 6: an unconfident classification may still match one of the
-        # shape-based special cases (Approaching w_t, Bounded Window); if not,
-        # it is reported as "Unsure TCP" exactly like the paper.
-        shape = detect_shape_case(probe)
-        if shape is not None:
-            outcome.special_case = shape
-            outcome.category = shape.value
-        else:
-            outcome.category = UNSURE
+        outcome, probe = probe_server(record, crawler, self.config, rng)
+        if probe is not None:
+            self._classify_pending([(outcome, probe)])
         return outcome
 
     # ------------------------------------------------------------- internals
-    def _invalid_reason(self, probe: ProbeTrace, profile) -> InvalidReason:
-        reason = probe.invalid_reason or InvalidReason.INSUFFICIENT_DATA
-        if reason is InvalidReason.INSUFFICIENT_DATA and profile.max_pipelined_requests <= 3:
-            # The paper distinguishes "page too short" from "server accepts
-            # only one or a few pipelined requests"; the observable symptom is
-            # the same (the transfer stops early), so use the server property.
-            return InvalidReason.TOO_FEW_REQUESTS
-        return reason
+    def _classify_pending(self, pending: list[tuple[ServerOutcome, ProbeTrace]]) -> None:
+        """Steps 5-6 for every outcome that survived the probe phase."""
+        if not pending:
+            return
+        extractor = self.classifier.extractor
+        vectors = [extractor.extract(probe) for _, probe in pending]
+        w_timeouts = [probe.w_timeout for _, probe in pending]
+        identifications = self.classifier.classify_vectors(vectors, w_timeouts)
+        for (outcome, probe), identification in zip(pending, identifications):
+            # Step 5: random forest classification with the confidence threshold.
+            outcome.confidence = identification.confidence
+            if not identification.unsure:
+                outcome.category = identification.label
+                continue
+            # Step 6: an unconfident classification may still match one of the
+            # shape-based special cases (Approaching w_t, Bounded Window); if
+            # not, it is reported as "Unsure TCP" exactly like the paper.
+            shape = detect_shape_case(probe)
+            if shape is not None:
+                outcome.special_case = shape
+                outcome.category = shape.value
+            else:
+                outcome.category = UNSURE

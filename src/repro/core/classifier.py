@@ -72,10 +72,7 @@ class CaaiClassifier:
     # --------------------------------------------------------------- classify
     def classify_vector(self, vector: FeatureVector, w_timeout: int) -> Identification:
         """Classify an already-extracted feature vector."""
-        result = self._require_forest().vote_one(vector.as_array())
-        unsure = result.confidence < self.confidence_threshold
-        return Identification(label=result.label, confidence=result.confidence,
-                              vector=vector, w_timeout=w_timeout, unsure=unsure)
+        return self.classify_vectors([vector], w_timeout)[0]
 
     def classify_probe(self, probe: ProbeTrace) -> Identification:
         """Extract features from a probe and classify them."""
@@ -85,9 +82,36 @@ class CaaiClassifier:
         vector = self.extractor.extract(probe)
         return self.classify_vector(vector, probe.w_timeout)
 
+    def classify_vectors(self, vectors, w_timeout) -> list[Identification]:
+        """Classify a whole batch through the forest in one vectorised pass.
+
+        ``vectors`` is a sequence of :class:`FeatureVector` or a
+        ``(n_samples, n_features)`` matrix; ``w_timeout`` is one value for the
+        whole batch or one value per vector.
+        """
+        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+            feature_vectors = [FeatureVector.from_array(row) for row in vectors]
+            matrix = np.asarray(vectors, dtype=float)
+        else:
+            feature_vectors = list(vectors)
+            if not feature_vectors:
+                return []
+            matrix = np.vstack([v.as_array() for v in feature_vectors])
+        if np.ndim(w_timeout) == 0:
+            w_timeouts = [int(w_timeout)] * len(feature_vectors)
+        else:
+            w_timeouts = [int(w) for w in w_timeout]
+            if len(w_timeouts) != len(feature_vectors):
+                raise ValueError("w_timeout must be scalar or one value per vector")
+        results = self._require_forest().vote_many(matrix)
+        return [Identification(label=result.label, confidence=result.confidence,
+                               vector=vector, w_timeout=w,
+                               unsure=result.confidence < self.confidence_threshold)
+                for vector, w, result in zip(feature_vectors, w_timeouts, results)]
+
     def classify_many(self, vectors: list[FeatureVector],
                       w_timeout: int) -> list[Identification]:
-        return [self.classify_vector(vector, w_timeout) for vector in vectors]
+        return self.classify_vectors(vectors, w_timeout)
 
     # ------------------------------------------------------------- internals
     def _require_forest(self) -> RandomForestClassifier:

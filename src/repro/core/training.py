@@ -26,6 +26,7 @@ from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
 from repro.core.labels import training_label
 from repro.net.conditions import ConditionDatabase, default_condition_database
 from repro.ml.dataset import LabeledDataset
+from repro.parallel import ParallelExecutor, task_seeds
 from repro.tcp.connection import SenderConfig
 from repro.tcp.registry import IDENTIFIABLE_ALGORITHMS
 
@@ -66,18 +67,26 @@ class TrainingSetBuilder:
             self.condition_database = default_condition_database()
 
     # ------------------------------------------------------------------ API
-    def build_examples(self) -> list[TrainingExample]:
-        """Generate the full list of training examples."""
-        rng = np.random.default_rng(self.seed)
-        examples: list[TrainingExample] = []
-        for algorithm in self.algorithms:
-            for w_timeout in self.w_timeouts:
-                examples.extend(self._examples_for_pair(algorithm, w_timeout, rng))
-        return examples
+    def build_examples(self, executor: ParallelExecutor | None = None) -> list[TrainingExample]:
+        """Generate the full list of training examples.
 
-    def build_dataset(self) -> LabeledDataset:
+        Every (algorithm, ``w_timeout``) pair draws from its own seed-derived
+        random stream and the pairs fan out over ``executor`` (serial by
+        default), so the examples are identical for every backend and worker
+        count.
+        """
+        pairs = [(algorithm, w_timeout)
+                 for algorithm in self.algorithms
+                 for w_timeout in self.w_timeouts]
+        executor = executor or ParallelExecutor()
+        tasks = list(zip(pairs, task_seeds(self.seed, len(pairs))))
+        per_pair = executor.map(_pair_task, tasks,
+                                initializer=_init_training_worker, initargs=(self,))
+        return [example for pair_examples in per_pair for example in pair_examples]
+
+    def build_dataset(self, executor: ParallelExecutor | None = None) -> LabeledDataset:
         """Generate the training set as a :class:`LabeledDataset`."""
-        examples = self.build_examples()
+        examples = self.build_examples(executor=executor)
         rows = [(example.vector.as_array(), example.label) for example in examples]
         return LabeledDataset.from_rows(rows, feature_names=FeatureVector.ELEMENT_NAMES)
 
@@ -118,9 +127,26 @@ class TrainingSetBuilder:
                                sender_config_factory=config_factory)
 
 
+# Per-worker state for the training fan-out; the builder is pickled once per
+# worker by the executor's initializer, so tasks only carry the pair and seed.
+_TRAINING_WORKER: dict = {}
+
+
+def _init_training_worker(builder: TrainingSetBuilder) -> None:
+    _TRAINING_WORKER["builder"] = builder
+
+
+def _pair_task(task: tuple[tuple[str, int], np.random.SeedSequence]
+               ) -> list[TrainingExample]:
+    (algorithm, w_timeout), seed = task
+    builder: TrainingSetBuilder = _TRAINING_WORKER["builder"]
+    return builder._examples_for_pair(algorithm, w_timeout, np.random.default_rng(seed))
+
+
 def build_training_set(conditions_per_pair: int = 25, seed: int = 7,
+                       executor: ParallelExecutor | None = None,
                        **kwargs) -> LabeledDataset:
     """Convenience wrapper used by examples and benchmarks."""
     builder = TrainingSetBuilder(conditions_per_pair=conditions_per_pair,
                                  seed=seed, **kwargs)
-    return builder.build_dataset()
+    return builder.build_dataset(executor=executor)

@@ -9,6 +9,19 @@ The tree also works as a stand-alone classifier (``max_features=None`` uses
 all features at every node), which is one of the baselines of the paper's
 model-selection study. Labels are encoded to integers once at fit time so the
 split search is fully vectorised.
+
+Two implementation notes for the hot paths:
+
+* **Fitting** pre-sorts every feature column once at the root and partitions
+  the sorted index lists on the way down, so no node ever re-sorts or rebuilds
+  the one-hot label matrix. The split chosen at every node is bit-identical
+  to sorting each node's subcolumn from scratch (stable mergesort of a subset
+  equals the stably-sorted full column restricted to that subset).
+* **Prediction** routes whole sample matrices through a flattened array
+  representation of the tree (:class:`FlatTree`) with no per-sample Python
+  loop. The linked :class:`_Node` structure is kept as the reference
+  implementation (``predict_one`` / ``predict_reference``) that parity tests
+  compare against.
 """
 
 from __future__ import annotations
@@ -36,6 +49,84 @@ class _Node:
         return self.feature is None
 
 
+@dataclass(frozen=True)
+class FlatTree:
+    """A fitted tree flattened into contiguous arrays (preorder layout).
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; internal nodes route a
+    sample left when ``x[feature[i]] <= threshold[i]``. ``leaf_class_counts``
+    carries the training class histogram of every node so vote fractions can
+    be recovered without the linked structure.
+    """
+
+    feature: np.ndarray          # (n_nodes,) intp, -1 for leaves
+    threshold: np.ndarray        # (n_nodes,) float64
+    left: np.ndarray             # (n_nodes,) intp
+    right: np.ndarray            # (n_nodes,) intp
+    prediction: np.ndarray       # (n_nodes,) intp, majority class index
+    leaf_class_counts: np.ndarray  # (n_nodes, n_classes) int64
+
+    @classmethod
+    def from_root(cls, root: _Node, n_classes: int) -> "FlatTree":
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        prediction: list[int] = []
+        counts: list[np.ndarray] = []
+        # Iterative preorder flatten; children indices are patched once known.
+        stack: list[tuple[_Node, int, bool]] = [(root, -1, False)]
+        while stack:
+            node, parent, is_right = stack.pop()
+            index = len(feature)
+            if parent >= 0:
+                if is_right:
+                    right[parent] = index
+                else:
+                    left[parent] = index
+            feature.append(-1 if node.feature is None else int(node.feature))
+            threshold.append(float(node.threshold))
+            left.append(-1)
+            right.append(-1)
+            prediction.append(int(node.prediction))
+            counts.append(np.asarray(node.class_counts, dtype=np.int64))
+            if node.feature is not None:
+                assert node.left is not None and node.right is not None
+                # Push right first so the left child lands at index + 1.
+                stack.append((node.right, index, True))
+                stack.append((node.left, index, False))
+        return cls(feature=np.array(feature, dtype=np.intp),
+                   threshold=np.array(threshold, dtype=np.float64),
+                   left=np.array(left, dtype=np.intp),
+                   right=np.array(right, dtype=np.intp),
+                   prediction=np.array(prediction, dtype=np.intp),
+                   leaf_class_counts=np.vstack(counts) if counts else
+                   np.zeros((0, n_classes), dtype=np.int64))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def apply(self, features: np.ndarray) -> np.ndarray:
+        """Leaf index reached by every row of ``features`` (vectorised)."""
+        features = np.ascontiguousarray(features, dtype=np.float64)
+        nodes = np.zeros(len(features), dtype=np.intp)
+        active = np.nonzero(self.feature[nodes] >= 0)[0]
+        while active.size:
+            current = nodes[active]
+            split_feature = self.feature[current]
+            go_left = (features[active, split_feature]
+                       <= self.threshold[current])
+            nodes[active] = np.where(go_left, self.left[current],
+                                     self.right[current])
+            active = active[self.feature[nodes[active]] >= 0]
+        return nodes
+
+    def predict_indices(self, features: np.ndarray) -> np.ndarray:
+        """Majority-class index for every row of ``features``."""
+        return self.prediction[self.apply(features)]
+
+
 @dataclass
 class DecisionTreeClassifier:
     """Gini-impurity decision tree classifier.
@@ -54,6 +145,7 @@ class DecisionTreeClassifier:
     max_depth: int | None = None
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     _root: _Node | None = field(default=None, init=False, repr=False)
+    _flat: FlatTree | None = field(default=None, init=False, repr=False)
     _classes: list[str] = field(default_factory=list, init=False, repr=False)
 
     # ------------------------------------------------------------------ fit
@@ -66,71 +158,135 @@ class DecisionTreeClassifier:
         class_index = {label: i for i, label in enumerate(self._classes)}
         encoded = np.array([class_index[str(label)] for label in dataset.labels],
                            dtype=np.int64)
-        self._root = self._grow(np.asarray(dataset.features, dtype=float), encoded, depth=0)
+        self._root = self._grow_root(np.asarray(dataset.features, dtype=float), encoded)
+        self._flat = FlatTree.from_root(self._root, len(self._classes))
         return self
 
-    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
-        counts = np.bincount(labels, minlength=len(self._classes))
-        prediction = int(np.argmax(counts))
-        node = _Node(prediction=prediction, class_counts=counts)
-        if (len(labels) < self.min_samples_split
-                or int(np.count_nonzero(counts)) == 1
-                or (self.max_depth is not None and depth >= self.max_depth)):
+    #: Nodes smaller than this give up the pre-sorted index lists and sort
+    #: their (tiny) subcolumns directly; the chosen splits are identical either
+    #: way because candidate cuts sit between distinct values, making every
+    #: split statistic a function of the row *set* only, never of row order.
+    _PRESORT_CUTOFF = 256
+
+    def _grow_root(self, features: np.ndarray, labels: np.ndarray) -> _Node:
+        n, n_features = features.shape
+        n_classes = len(self._classes)
+        one_hot = np.zeros((n, n_classes), dtype=np.float64)
+        one_hot[np.arange(n), labels] = 1.0
+        scratch = np.zeros(n, dtype=bool)
+        cutoff = self._PRESORT_CUTOFF
+
+        def evaluate(feature: int, sorted_rows: np.ndarray, n_node: int,
+                     parent_impurity: float):
+            """Best Gini cut for one feature given its rows in sorted order."""
+            sorted_values = features[sorted_rows, feature]
+            # Candidate cut positions sit between distinct consecutive values.
+            distinct = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
+            if len(distinct) == 0:
+                return None
+            cumulative = np.cumsum(one_hot[sorted_rows], axis=0)
+            left_counts = cumulative[distinct]
+            right_counts = cumulative[-1] - left_counts
+            n_left = (distinct + 1).astype(float)
+            n_right = n_node - n_left
+            gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
+            gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
+            weighted = (n_left * gini_left + n_right * gini_right) / n_node
+            gains = parent_impurity - weighted
+            best_cut = int(np.argmax(gains))
+            cut = distinct[best_cut]
+            threshold = 0.5 * (sorted_values[cut] + sorted_values[cut + 1])
+            mask = sorted_values <= threshold
+            return float(gains[best_cut]), float(threshold), mask
+
+        def make_node(rows_any_order: np.ndarray, depth: int):
+            counts = np.bincount(labels[rows_any_order], minlength=n_classes)
+            node = _Node(prediction=int(np.argmax(counts)), class_counts=counts)
+            splittable = not (len(rows_any_order) < self.min_samples_split
+                              or int(np.count_nonzero(counts)) == 1
+                              or (self.max_depth is not None and depth >= self.max_depth))
+            return node, counts, splittable
+
+        def pick_best(order_for_feature, n_node: int, parent_counts: np.ndarray):
+            parent_impurity = _gini(parent_counts.astype(float), n_node)
+            best_gain = 1e-12
+            best = None
+            for feature in self._candidate_features(n_features):
+                sorted_rows = order_for_feature(int(feature))
+                result = evaluate(int(feature), sorted_rows, n_node, parent_impurity)
+                if result is None:
+                    continue
+                gain, threshold, mask = result
+                if gain > best_gain:
+                    if mask.all() or not mask.any():
+                        continue
+                    best_gain = gain
+                    best = (int(feature), threshold, sorted_rows, mask)
+            return best
+
+        def grow_indices(indices: np.ndarray, depth: int) -> _Node:
+            """Small-node path: sort each candidate subcolumn directly."""
+            node, counts, splittable = make_node(indices, depth)
+            if not splittable:
+                return node
+            def order_for(feature: int) -> np.ndarray:
+                return indices[np.argsort(features[indices, feature], kind="mergesort")]
+            split = pick_best(order_for, len(indices), counts)
+            if split is None:
+                return node
+            node.feature, node.threshold, sorted_rows, mask = split
+            node.left = grow_indices(sorted_rows[mask], depth + 1)
+            node.right = grow_indices(sorted_rows[~mask], depth + 1)
             return node
-        split = self._best_split(features, labels, counts)
-        if split is None:
+
+        def grow_sorted(order: np.ndarray, depth: int) -> _Node:
+            """Large-node path: every column of ``order`` is already sorted."""
+            node, counts, splittable = make_node(order[:, 0], depth)
+            if not splittable:
+                return node
+            split = pick_best(lambda feature: order[:, feature], len(order), counts)
+            if split is None:
+                return node
+            node.feature, node.threshold, sorted_rows, mask = split
+            left_rows = sorted_rows[mask]
+            right_rows = sorted_rows[~mask]
+            keep_left = len(left_rows) >= cutoff
+            keep_right = len(right_rows) >= cutoff
+            left_order = right_order = None
+            if keep_left or keep_right:
+                # Partition the pre-sorted columns instead of re-sorting them.
+                scratch[left_rows] = True
+                if keep_left:
+                    left_order = np.empty((len(left_rows), n_features), dtype=order.dtype)
+                if keep_right:
+                    right_order = np.empty((len(right_rows), n_features), dtype=order.dtype)
+                for j in range(n_features):
+                    column = order[:, j]
+                    member = scratch[column]
+                    if keep_left:
+                        left_order[:, j] = column[member]
+                    if keep_right:
+                        right_order[:, j] = column[~member]
+                scratch[left_rows] = False
+            node.left = (grow_sorted(left_order, depth + 1) if keep_left
+                         else grow_indices(left_rows, depth + 1))
+            node.right = (grow_sorted(right_order, depth + 1) if keep_right
+                          else grow_indices(right_rows, depth + 1))
             return node
-        feature, threshold, left_mask = split
-        node.feature = feature
-        node.threshold = threshold
-        node.left = self._grow(features[left_mask], labels[left_mask], depth + 1)
-        node.right = self._grow(features[~left_mask], labels[~left_mask], depth + 1)
-        return node
+
+        if n < cutoff:
+            return grow_indices(np.arange(n, dtype=np.intp), depth=0)
+        # Every column stably sorted exactly once at the root.
+        return grow_sorted(np.argsort(features, axis=0, kind="mergesort"), depth=0)
 
     def _candidate_features(self, n_features: int) -> np.ndarray:
         if self.max_features is None or self.max_features >= n_features:
             return np.arange(n_features)
         return self.rng.choice(n_features, size=self.max_features, replace=False)
 
-    def _best_split(self, features: np.ndarray, labels: np.ndarray,
-                    parent_counts: np.ndarray) -> tuple[int, float, np.ndarray] | None:
-        n = len(labels)
-        n_classes = len(self._classes)
-        parent_impurity = _gini(parent_counts.astype(float), n)
-        best_gain = 1e-12
-        best: tuple[int, float, np.ndarray] | None = None
-        one_hot = np.zeros((n, n_classes), dtype=np.float64)
-        one_hot[np.arange(n), labels] = 1.0
-        for feature in self._candidate_features(features.shape[1]):
-            column = features[:, feature]
-            order = np.argsort(column, kind="mergesort")
-            sorted_values = column[order]
-            # Candidate cut positions sit between distinct consecutive values.
-            distinct = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
-            if len(distinct) == 0:
-                continue
-            cumulative = np.cumsum(one_hot[order], axis=0)
-            left_counts = cumulative[distinct]
-            right_counts = cumulative[-1] - left_counts
-            n_left = (distinct + 1).astype(float)
-            n_right = n - n_left
-            gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
-            gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
-            weighted = (n_left * gini_left + n_right * gini_right) / n
-            gains = parent_impurity - weighted
-            best_cut = int(np.argmax(gains))
-            if gains[best_cut] > best_gain:
-                cut = distinct[best_cut]
-                threshold = 0.5 * (sorted_values[cut] + sorted_values[cut + 1])
-                mask = column <= threshold
-                if mask.all() or not mask.any():
-                    continue
-                best_gain = float(gains[best_cut])
-                best = (int(feature), float(threshold), mask)
-        return best
-
     # -------------------------------------------------------------- predict
     def predict_one(self, vector: np.ndarray) -> str:
+        """Reference prediction walking the linked nodes (kept for parity)."""
         node = self._require_fitted()
         while not node.is_leaf:
             assert node.left is not None and node.right is not None
@@ -141,8 +297,22 @@ class DecisionTreeClassifier:
         return self._classes[node.prediction]
 
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised batch prediction through the flattened arrays."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        flat = self.flat_tree
+        classes = np.array(self._classes, dtype=object)
+        return classes[flat.predict_indices(features)]
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Per-sample prediction through the linked nodes (reference path)."""
         features = np.atleast_2d(np.asarray(features, dtype=float))
         return np.array([self.predict_one(row) for row in features], dtype=object)
+
+    @property
+    def flat_tree(self) -> FlatTree:
+        self._require_fitted()
+        assert self._flat is not None
+        return self._flat
 
     def _require_fitted(self) -> _Node:
         if self._root is None:
@@ -161,6 +331,8 @@ class DecisionTreeClassifier:
         return walk(self._require_fitted())
 
     def node_count(self) -> int:
+        if self._flat is not None:
+            return self._flat.n_nodes
         def walk(node: _Node | None) -> int:
             if node is None:
                 return 0

@@ -52,12 +52,37 @@ class KNearestNeighborsClassifier:
         distances = np.linalg.norm(self._features - point, axis=1)
         k = min(self.k, len(distances))
         neighbours = np.argpartition(distances, k - 1)[:k]
+        return self._majority(neighbours)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Batch prediction: one distance matrix per chunk, no per-sample loop
+        over the training set. Chunking bounds the ``(chunk, n_train, n_dims)``
+        broadcast temporary."""
+        if self._features is None or self._labels is None:
+            raise RuntimeError("classifier has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        queries = self._transform(features)
+        train = self._features
+        k = min(self.k, len(train))
+        output = np.empty(len(queries), dtype=object)
+        chunk = max(1, 4_000_000 // max(1, train.size))
+        for start in range(0, len(queries), chunk):
+            block = queries[start:start + chunk]
+            distances = np.linalg.norm(train[None, :, :] - block[:, None, :], axis=2)
+            neighbours = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for offset, row_neighbours in enumerate(neighbours):
+                output[start + offset] = self._majority(row_neighbours)
+        return output
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Per-sample reference path (kept for parity tests)."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return np.array([self.predict_one(row) for row in features], dtype=object)
+
+    def _majority(self, neighbours: np.ndarray) -> str:
+        assert self._labels is not None
         votes: dict[str, int] = {}
         for index in neighbours:
             label = str(self._labels[index])
             votes[label] = votes.get(label, 0) + 1
         return max(votes.items(), key=lambda item: (item[1], item[0]))[0]
-
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        features = np.atleast_2d(np.asarray(features, dtype=float))
-        return np.array([self.predict_one(row) for row in features], dtype=object)

@@ -17,25 +17,42 @@ from repro.ml.dataset import LabeledDataset
 
 @dataclass
 class ConfusionMatrix:
-    """Counts of (true label, predicted label) pairs."""
+    """Counts of (true label, predicted label) pairs.
+
+    A label-to-index dictionary is kept alongside ``labels`` so recording a
+    sample is O(1) instead of O(n_labels) list searches.
+    """
 
     labels: list[str]
     counts: np.ndarray
+    _index: dict[str, int] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._index = {label: i for i, label in enumerate(self.labels)}
 
     @classmethod
     def empty(cls, labels: list[str]) -> "ConfusionMatrix":
         return cls(labels=list(labels), counts=np.zeros((len(labels), len(labels)), dtype=int))
 
     def record(self, true_label: str, predicted_label: str) -> None:
-        if true_label not in self.labels:
-            self.labels.append(true_label)
-            self._grow()
-        if predicted_label not in self.labels:
-            self.labels.append(predicted_label)
-            self._grow()
-        i = self.labels.index(true_label)
-        j = self.labels.index(predicted_label)
+        # Resolve both indices before touching counts: either lookup may grow it.
+        i = self._label_index(true_label)
+        j = self._label_index(predicted_label)
         self.counts[i, j] += 1
+
+    def record_many(self, true_labels, predicted_labels) -> None:
+        """Record a whole batch of (true, predicted) pairs."""
+        for true_label, predicted_label in zip(true_labels, predicted_labels):
+            self.record(str(true_label), str(predicted_label))
+
+    def _label_index(self, label: str) -> int:
+        index = self._index.get(label)
+        if index is None:
+            index = len(self.labels)
+            self.labels.append(label)
+            self._index[label] = index
+            self._grow()
+        return index
 
     def _grow(self) -> None:
         size = len(self.labels)
@@ -67,13 +84,8 @@ class ConfusionMatrix:
     def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
         merged = ConfusionMatrix.empty(sorted(set(self.labels) | set(other.labels)))
         for source in (self, other):
-            for i, true_label in enumerate(source.labels):
-                for j, predicted_label in enumerate(source.labels):
-                    count = int(source.counts[i, j])
-                    if count:
-                        ti = merged.labels.index(true_label)
-                        tj = merged.labels.index(predicted_label)
-                        merged.counts[ti, tj] += count
+            positions = np.array([merged._index[label] for label in source.labels], dtype=int)
+            merged.counts[np.ix_(positions, positions)] += source.counts
         return merged
 
 
@@ -121,13 +133,11 @@ def cross_validate(dataset: LabeledDataset, classifier_factory: ClassifierFactor
             continue
         classifier = classifier_factory()
         classifier.fit(train)
-        predictions = classifier.predict(test.features)
-        correct = 0
-        for true_label, predicted in zip(test.labels, predictions):
-            confusion.record(str(true_label), str(predicted))
-            if str(true_label) == str(predicted):
-                correct += 1
-        fold_accuracies.append(correct / len(test))
+        predictions = np.array([str(p) for p in classifier.predict(test.features)],
+                               dtype=object)
+        true_labels = np.array([str(label) for label in test.labels], dtype=object)
+        confusion.record_many(true_labels, predictions)
+        fold_accuracies.append(float(np.mean(predictions == true_labels)))
     return CrossValidationResult(fold_accuracies=fold_accuracies, confusion=confusion,
                                  n_folds=n_folds, classifier_description=description)
 
@@ -135,9 +145,10 @@ def cross_validate(dataset: LabeledDataset, classifier_factory: ClassifierFactor
 def holdout_accuracy(train: LabeledDataset, test: LabeledDataset,
                      classifier_factory: ClassifierFactory) -> float:
     """Train on one dataset, evaluate accuracy on another."""
+    if len(test) == 0:
+        return 0.0
     classifier = classifier_factory()
     classifier.fit(train)
     predictions = classifier.predict(test.features)
-    correct = sum(1 for true_label, predicted in zip(test.labels, predictions)
-                  if str(true_label) == str(predicted))
-    return correct / len(test) if len(test) else 0.0
+    return float(np.mean([str(true_label) == str(predicted)
+                          for true_label, predicted in zip(test.labels, predictions)]))

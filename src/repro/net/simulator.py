@@ -20,16 +20,18 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`EventSimulator.schedule` for cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, simulator: "EventSimulator"):
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._simulator._cancel(self._event)
 
     @property
     def cancelled(self) -> bool:
@@ -48,6 +50,9 @@ class EventSimulator:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        #: Number of scheduled, not-yet-run, not-cancelled events; kept live
+        #: on schedule/cancel/pop so :meth:`pending_events` is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -64,14 +69,29 @@ class EventSimulator:
         event = _ScheduledEvent(time=self._now + delay, sequence=next(self._counter),
                                 callback=callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at the absolute time ``when``."""
         return self.schedule(max(0.0, when - self._now), callback)
 
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live
+
+    def _cancel(self, event: _ScheduledEvent) -> None:
+        if event.cancelled or event.executed:
+            # Cancelling twice, or cancelling an event that already ran, must
+            # not corrupt the live-event counter.
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._drop_cancelled_top()
+
+    def _drop_cancelled_top(self) -> None:
+        """Drop cancelled events as soon as they surface at the heap top."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
 
     def run(self, until: float = math.inf, max_events: int | None = None) -> int:
         """Run events in timestamp order.
@@ -83,17 +103,19 @@ class EventSimulator:
         processed_before = self._processed
         budget = max_events if max_events is not None else math.inf
         while self._queue and (self._processed - processed_before) < budget:
+            self._drop_cancelled_top()
+            if not self._queue:
+                break
             event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
             if event.time > until:
                 break
             heapq.heappop(self._queue)
+            self._live -= 1
+            event.executed = True
             self._now = max(self._now, event.time)
             event.callback()
             self._processed += 1
-        if not self._queue and until is not math.inf and until > self._now:
+        if not self._queue and not math.isinf(until) and until > self._now:
             self._now = until
         return self._processed - processed_before
 

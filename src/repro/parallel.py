@@ -1,0 +1,97 @@
+"""Parallel execution layer for the embarrassingly parallel workloads.
+
+The census probes every server independently and the training-set builder
+emulates every (algorithm, ``w_timeout``) pair independently, so both fan out
+naturally. :class:`ParallelExecutor` wraps the two execution strategies behind
+one ``map``-style interface:
+
+* ``serial`` -- run tasks in-process, in order (the default; also what the
+  worker processes themselves use);
+* ``process`` -- fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is the design constraint: callers derive one independent random
+seed per task with :func:`task_seeds` (NumPy ``SeedSequence.spawn``, so child
+streams are independent regardless of task count) and ``map`` always returns
+results in task order. A workload run through the ``process`` backend is
+therefore bit-identical to the same workload run serially.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+#: Names accepted by :class:`ParallelExecutor`'s ``backend`` field.
+BACKENDS = ("serial", "process")
+
+
+def task_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent, deterministic child seeds of ``seed``.
+
+    The children only depend on ``seed`` and their position, never on how the
+    tasks are later scheduled, which is what makes parallel runs reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def default_worker_count() -> int:
+    """Worker count used when the caller does not pin one."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ParallelExecutor:
+    """Deterministic map over independent tasks with a pluggable backend.
+
+    Attributes:
+        backend: ``"serial"`` or ``"process"``.
+        max_workers: process count for the ``process`` backend (``None`` uses
+            one worker per CPU).
+        chunk_size: tasks handed to a worker per dispatch; ``None`` picks a
+            chunk that gives every worker a few batches (amortising IPC
+            without starving the pool).
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers if self.max_workers is not None else default_worker_count()
+
+    def map(self, function: Callable, tasks: Iterable,
+            initializer: Callable | None = None,
+            initargs: Sequence = ()) -> list:
+        """Apply ``function`` to every task, returning results in task order.
+
+        ``initializer`` runs once per worker (or once in-process for the
+        serial backend) before any task; use it to build per-worker state that
+        is expensive to pickle per task.
+        """
+        task_list = list(tasks)
+        if self.backend == "serial" or not task_list:
+            if initializer is not None:
+                initializer(*initargs)
+            return [function(task) for task in task_list]
+        workers = min(self.workers, len(task_list))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(task_list) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                                 initargs=tuple(initargs)) as pool:
+            return list(pool.map(function, task_list, chunksize=chunk))

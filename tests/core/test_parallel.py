@@ -1,0 +1,139 @@
+"""Tests for the parallel execution layer and its census/training users.
+
+The contract under test: the ``process`` backend produces *identical* results
+to the ``serial`` backend for the same seeds — the executor only changes
+wall-clock time, never outcomes.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import default_condition_database
+from repro.parallel import ParallelExecutor, task_seeds
+from repro.web.population import PopulationConfig, ServerPopulation
+
+
+def _square(value):
+    return value * value
+
+
+def _seeded_draw(task):
+    index, seed = task
+    return index, float(np.random.default_rng(seed).random())
+
+
+class TestParallelExecutor:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(backend="threads")
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_serial_map_preserves_order(self):
+        executor = ParallelExecutor()
+        assert executor.map(_square, range(8)) == [i * i for i in range(8)]
+
+    def test_process_map_matches_serial(self):
+        items = list(range(12))
+        serial = ParallelExecutor().map(_square, items)
+        parallel = ParallelExecutor(backend="process", max_workers=2).map(_square, items)
+        assert serial == parallel
+
+    def test_empty_task_list(self):
+        assert ParallelExecutor(backend="process").map(_square, []) == []
+
+    def test_task_seeds_are_deterministic_and_independent(self):
+        first = task_seeds(123, 6)
+        second = task_seeds(123, 6)
+        draws_a = [np.random.default_rng(s).random() for s in first]
+        draws_b = [np.random.default_rng(s).random() for s in second]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == len(draws_a)
+
+    def test_seeded_tasks_identical_across_backends(self):
+        tasks = list(enumerate(task_seeds(7, 10)))
+        serial = ParallelExecutor().map(_seeded_draw, tasks)
+        parallel = ParallelExecutor(backend="process", max_workers=2,
+                                    chunk_size=3).map(_seeded_draw, tasks)
+        assert serial == parallel
+
+
+@pytest.fixture(scope="module")
+def tiny_training_builder():
+    return TrainingSetBuilder(
+        conditions_per_pair=2,
+        seed=13,
+        w_timeouts=(64,),
+        algorithms=("reno", "cubic-b", "bic", "vegas"),
+        condition_database=default_condition_database(size=200, seed=3),
+    )
+
+
+class TestParallelTraining:
+    def test_process_training_set_identical_to_serial(self, tiny_training_builder):
+        serial = tiny_training_builder.build_dataset()
+        parallel = tiny_training_builder.build_dataset(
+            ParallelExecutor(backend="process", max_workers=2))
+        assert np.array_equal(serial.features, parallel.features)
+        assert list(serial.labels) == list(parallel.labels)
+
+    def test_examples_carry_pair_provenance(self, tiny_training_builder):
+        examples = tiny_training_builder.build_examples()
+        assert {example.w_timeout for example in examples} == {64}
+        assert {example.algorithm for example in examples} <= {"reno", "cubic-b",
+                                                               "bic", "vegas"}
+
+
+class TestParallelCensus:
+    def _population(self, size=25):
+        population = ServerPopulation(PopulationConfig(size=size, seed=37))
+        population.generate()
+        return population
+
+    def test_process_census_identical_to_serial(self, trained_classifier):
+        serial_report = CensusRunner(
+            trained_classifier, CensusConfig(seed=5)).run(self._population())
+        parallel_report = CensusRunner(
+            trained_classifier,
+            CensusConfig(seed=5, backend="process", max_workers=2)).run(self._population())
+        serial_outcomes = [dataclasses.asdict(o) for o in serial_report.outcomes]
+        parallel_outcomes = [dataclasses.asdict(o) for o in parallel_report.outcomes]
+        assert serial_outcomes == parallel_outcomes
+
+    def test_explicit_executor_overrides_config(self, trained_classifier):
+        runner = CensusRunner(trained_classifier, CensusConfig(seed=5),
+                              executor=ParallelExecutor(backend="process", max_workers=2))
+        report = runner.run(self._population())
+        baseline = CensusRunner(trained_classifier, CensusConfig(seed=5)).run(
+            self._population())
+        assert ([dataclasses.asdict(o) for o in report.outcomes]
+                == [dataclasses.asdict(o) for o in baseline.outcomes])
+
+    def test_batch_classification_matches_per_probe_path(self, trained_classifier):
+        """The census' batch classification equals classify_probe one by one."""
+        from repro.core.census import probe_server
+        from repro.web.crawler import PageSearchTool
+        config = CensusConfig(seed=9)
+        report = CensusRunner(trained_classifier, config).run(self._population(size=15))
+        # Fresh population: probing mutates server-side state (ssthresh caches).
+        population = self._population(size=15)
+        crawler = PageSearchTool(page_budget=config.crawler_page_budget)
+        seeds = task_seeds(config.seed, len(population.records))
+        compared = 0
+        for outcome, record, seed in zip(report.outcomes, population.records, seeds):
+            partial, probe = probe_server(record, crawler, config,
+                                          np.random.default_rng(seed))
+            if probe is None:
+                continue
+            identification = trained_classifier.classify_probe(probe)
+            assert outcome.confidence == identification.confidence
+            if not identification.unsure:
+                assert outcome.category == identification.label
+            compared += 1
+        assert compared > 0

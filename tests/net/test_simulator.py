@@ -92,3 +92,54 @@ class TestControl:
         assert simulator.pending_events() == 2
         simulator.run_until_idle()
         assert simulator.events_processed == 2
+
+    def test_pending_count_tracks_cancellation(self):
+        simulator = EventSimulator()
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert simulator.pending_events() == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert simulator.pending_events() == 3
+        # Double-cancel must not double-count.
+        handles[0].cancel()
+        assert simulator.pending_events() == 3
+        simulator.run_until_idle()
+        assert simulator.pending_events() == 0
+        assert simulator.events_processed == 3
+
+    def test_cancelled_top_event_dropped_eagerly(self):
+        simulator = EventSimulator()
+        head = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        head.cancel()
+        # The cancelled event sat at the heap top, so it is gone immediately.
+        assert len(simulator._queue) == 1
+        assert simulator.pending_events() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_pending_count(self):
+        simulator = EventSimulator()
+        fired = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(10.0, lambda: None)
+        simulator.run(until=5.0)
+        fired.cancel()  # already ran; must be a no-op
+        assert simulator.pending_events() == 1
+
+    def test_run_until_float_inf_does_not_advance_clock(self):
+        simulator = EventSimulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run(until=float("inf"))
+        assert simulator.now == 1.0
+
+    def test_pending_count_with_cancel_during_event(self):
+        simulator = EventSimulator()
+        fired = []
+        late = simulator.schedule(5.0, lambda: fired.append("late"))
+
+        def first():
+            fired.append("first")
+            late.cancel()
+
+        simulator.schedule(1.0, first)
+        simulator.run_until_idle()
+        assert fired == ["first"]
+        assert simulator.pending_events() == 0
