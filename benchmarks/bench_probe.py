@@ -1,0 +1,169 @@
+"""Probe-engine benchmark: batched ACK engine vs the scalar per-ACK engine.
+
+Times the CAAI probe hot paths -- trace gathering, the 100-server census and
+the training-set build -- with the batched ACK engine on and off, verifies
+the two engines produce bit-identical traces, and writes ``BENCH_probe.json``
+so the probe-side performance trajectory can be tracked across commits::
+
+    PYTHONPATH=src python benchmarks/bench_probe.py [output.json]
+
+The workload matches ``bench_smoke_inference.py``'s small scale (the same
+training-set and census configurations), so the census/training timings here
+are directly comparable with the ``BENCH_inference.json`` baselines recorded
+before the batched engine existed (census(100) 8.2 s, training set 22.4 s).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.classifier import CaaiClassifier
+from repro.core.gather import GatherConfig, TraceGatherer
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import NetworkCondition, default_condition_database
+from repro.tcp.connection import ACK_BATCH_ENV, SenderConfig, TcpSender
+from repro.tcp.registry import IDENTIFIABLE_ALGORITHMS, create_algorithm
+from repro.web.population import PopulationConfig, ServerPopulation
+
+CENSUS_SIZE = 100
+N_TREES = 60
+#: Pre-batch baselines from BENCH_inference.json (PR 1, scalar engine).
+BASELINE_CENSUS_SECONDS = 8.2
+BASELINE_TRAINING_SECONDS = 22.4
+#: CI tripwire: the batched engine must beat the scalar engine by at least
+#: this factor on the probe workload. The development-machine measurement is
+#: ~3.4x (recorded in BENCH_probe.json); the threshold sits below it so
+#: loaded CI runners do not flake, while a fast path that silently stopped
+#: engaging (~1x) still fails loudly.
+TARGET_SPEEDUP = 2.5
+
+
+def _make_server(algorithm: str):
+    from repro.core.gather import SyntheticServer
+
+    return SyntheticServer(algorithm_name=algorithm,
+                           sender_config_factory=lambda mss: SenderConfig(
+                               mss=mss, initial_window=3))
+
+
+def probe_workload() -> list:
+    """One full probe per identifiable algorithm at w_timeout = 512."""
+    traces = []
+    for index, algorithm in enumerate(IDENTIFIABLE_ALGORITHMS):
+        gatherer = TraceGatherer(GatherConfig(w_timeout=512, mss=100))
+        traces.append(gatherer.gather_probe(
+            _make_server(algorithm), NetworkCondition.ideal(),
+            np.random.default_rng(100 + index)))
+    return traces
+
+
+def timed(function):
+    start = time.perf_counter()
+    value = function()
+    return time.perf_counter() - start, value
+
+
+def with_engine(enabled: bool, function):
+    os.environ[ACK_BATCH_ENV] = "1" if enabled else "0"
+    try:
+        return timed(function)
+    finally:
+        os.environ[ACK_BATCH_ENV] = "1"
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_probe.json"
+    results: dict = {"scale": "small", "census_size": CENSUS_SIZE}
+
+    # ---- probe throughput, batched vs scalar, with a parity gate ----------
+    print("timing probe workload (batched vs scalar ACK engine) ...", flush=True)
+    ratios = []
+    batched_traces = scalar_traces = None
+    batched_best = scalar_best = float("inf")
+    for _ in range(3):
+        batched_seconds, batched_traces = with_engine(True, probe_workload)
+        scalar_seconds, scalar_traces = with_engine(False, probe_workload)
+        ratios.append(scalar_seconds / batched_seconds)
+        batched_best = min(batched_best, batched_seconds)
+        scalar_best = min(scalar_best, scalar_seconds)
+    for probe_batched, probe_scalar in zip(batched_traces, scalar_traces):
+        if (probe_batched.trace_a != probe_scalar.trace_a
+                or probe_batched.trace_b != probe_scalar.trace_b):
+            raise SystemExit("FAIL: batched and scalar traces diverge")
+    speedup = sorted(ratios)[len(ratios) // 2]
+    probes = len(IDENTIFIABLE_ALGORITHMS)
+    results["probe_workload_probes"] = probes
+    results["probes_per_second"] = round(probes / batched_best, 2)
+    results["probes_per_second_scalar"] = round(probes / scalar_best, 2)
+    results["ack_engine_speedup"] = round(speedup, 2)
+    results["ack_engine_speedup_best"] = round(max(ratios), 2)
+
+    # ---- ACK-path microbenchmark: one sender, one long slow-start round ---
+    print("timing raw ACK run (1024-ACK round) ...", flush=True)
+
+    def ack_run(use_run: bool) -> None:
+        sender = TcpSender(create_algorithm("cubic-b"),
+                           SenderConfig(mss=100, initial_window=2))
+        sender.enqueue_bytes(50_000_000)
+        now, segments = 0.0, sender.start(0.0)
+        while segments and len(segments) <= 1024:
+            now += 1.0
+            acks = [seg.end_seq for seg in segments]
+            if use_run:
+                segments = sender.on_ack_run(acks, now)
+            else:
+                nxt = []
+                for ack in acks:
+                    nxt.extend(sender.on_ack(ack, now))
+                segments = nxt
+
+    run_seconds, _ = timed(lambda: [ack_run(True) for _ in range(20)])
+    loop_seconds, _ = timed(lambda: [ack_run(False) for _ in range(20)])
+    results["ack_run_speedup"] = round(loop_seconds / run_seconds, 2)
+
+    # ---- training set (same workload as bench_smoke_inference) -----------
+    print("building training set (batched engine) ...", flush=True)
+    def build_training_set():
+        builder = TrainingSetBuilder(
+            conditions_per_pair=6, seed=7,
+            condition_database=default_condition_database(size=1000, seed=2010))
+        return builder.build_dataset()
+
+    training_seconds, training_set = timed(build_training_set)
+    results["training_set_seconds"] = round(training_seconds, 3)
+    results["training_set_rows"] = len(training_set)
+    results["training_set_speedup_vs_baseline"] = round(
+        BASELINE_TRAINING_SECONDS / training_seconds, 2)
+
+    # ---- census (same workload as bench_smoke_inference) ------------------
+    print("running census ...", flush=True)
+    classifier = CaaiClassifier(n_trees=N_TREES, seed=3)
+    classifier.train(training_set)
+    population = ServerPopulation(PopulationConfig(size=CENSUS_SIZE, seed=2011))
+    population.generate()
+    census_seconds, report = timed(
+        lambda: CensusRunner(classifier, CensusConfig(seed=99)).run(population))
+    results["census_seconds"] = round(census_seconds, 3)
+    results["census_valid_fraction"] = round(report.valid_fraction(), 3)
+    results["census_speedup_vs_baseline"] = round(
+        BASELINE_CENSUS_SECONDS / census_seconds, 2)
+
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+    print(f"\nACK engine speedup on the probe workload: {speedup:.2f}x")
+    if speedup < TARGET_SPEEDUP:
+        raise SystemExit(
+            f"FAIL: speedup {speedup:.2f}x is below the {TARGET_SPEEDUP:.1f}x tripwire")
+    print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,7 +41,7 @@ from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
 from repro.net.conditions import NetworkCondition
 from repro.tcp.connection import TcpSender
 from repro.tcp.options import CAAI_MSS_LADDER
-from repro.tcp.packet import Segment
+from repro.tcp.packet import Segment, in_sequence
 
 
 class ProbeableServer(Protocol):
@@ -260,11 +260,16 @@ class TraceGatherer:
 
     def _deliver_data(self, segments: list[Segment], condition: NetworkCondition,
                       rng: np.random.Generator) -> list[Segment]:
-        """Apply data-direction loss; CAAI sees only the surviving packets."""
+        """Apply data-direction loss; CAAI sees only the surviving packets.
+
+        The loss draws are vectorised; ``Generator.random(n)`` consumes the
+        same underlying stream as ``n`` scalar draws, so the outcome is
+        bit-identical to the per-segment loop.
+        """
         if condition.loss_rate <= 0.0 or not segments:
             return list(segments)
-        survivors = [seg for seg in segments if rng.random() >= condition.loss_rate]
-        return survivors
+        kept = rng.random(len(segments)) >= condition.loss_rate
+        return [seg for seg, keep in zip(segments, kept) if keep]
 
     def _window_estimate(self, received: list[Segment], highest_end: int,
                          highest_prev: int) -> float:
@@ -283,17 +288,30 @@ class TraceGatherer:
     def _acknowledge(self, sender: TcpSender, received: list[Segment],
                      condition: NetworkCondition, rng: np.random.Generator,
                      now: float, highest_end: int) -> tuple[list[Segment], int]:
-        """Send one cumulative ACK per received data packet, subject to ACK loss."""
-        next_round: list[Segment] = []
-        lost = 0
+        """Send one cumulative ACK per received data packet, subject to ACK loss.
+
+        The round's ACK ladder is built up front and handed to the sender's
+        batched run API (:meth:`~repro.tcp.connection.TcpSender.on_ack_run`);
+        the sender falls back to the per-ACK engine on any non-clean run
+        (retransmissions, gaps from lost ACKs), so traces are bit-identical
+        to the historic one-``on_ack``-per-packet loop either way.
+        """
+        if not received:
+            return [], 0
+        ladder: list[int] = []
         cumulative = 0
-        for segment in sorted(received, key=lambda seg: seg.end_seq):
-            cumulative = max(cumulative, segment.end_seq, highest_end if segment.is_retransmission else 0)
-            if condition.loss_rate > 0.0 and rng.random() < condition.loss_rate:
-                lost += 1
-                continue
-            next_round.extend(sender.on_ack(cumulative, now))
-        return next_round, lost
+        for segment in in_sequence(received):
+            cumulative = max(cumulative, segment.end_seq,
+                             highest_end if segment.is_retransmission else 0)
+            ladder.append(cumulative)
+        lost = 0
+        if condition.loss_rate > 0.0:
+            # One draw per ACK, exactly as the per-packet loop made them.
+            dropped = rng.random(len(ladder)) < condition.loss_rate
+            lost = int(dropped.sum())
+            if lost:
+                ladder = [value for value, drop in zip(ladder, dropped) if not drop]
+        return sender.on_ack_run(ladder, now), lost
 
 
 def probe_with_w_timeout_ladder(server: ProbeableServer, condition: NetworkCondition,

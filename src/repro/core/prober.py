@@ -28,7 +28,7 @@ from repro.net.conditions import NetworkCondition
 from repro.net.link import NetemLink
 from repro.net.simulator import EventSimulator
 from repro.tcp.connection import TcpSender
-from repro.tcp.packet import Segment
+from repro.tcp.packet import Segment, in_sequence
 
 
 @dataclass
@@ -124,7 +124,6 @@ class CaaiProber:
         self._round_index = 0
         self._post_round_index = 0
         self._after_timeout = False
-        self._silent = False
         self._trace: WindowTrace | None = None
         self._finished = False
 
@@ -197,7 +196,6 @@ class CaaiProber:
         self._round_index += 1
         if window > self.config.w_timeout:
             # Emulated timeout: go silent and wait for the retransmission.
-            self._silent = True
             self._after_timeout = True
             self._await_retransmission()
             return
@@ -216,7 +214,6 @@ class CaaiProber:
             # The retransmission arrived; start the post-timeout rounds.
             # (Stragglers from the last pre-timeout burst do not count -- the
             # server has not timed out until it retransmits.)
-            self._silent = False
             if self._frto_server and self._endpoint is not None:
                 self._endpoint.on_ack(self._highest_end, is_duplicate=True)
             self._schedule_release(self.environment.rtt_after_timeout(0))
@@ -254,7 +251,7 @@ class CaaiProber:
         """
         assert self._endpoint is not None
         endpoint = self._endpoint
-        for segment in sorted(received, key=lambda seg: seg.end_seq):
+        for segment in in_sequence(received):
             if cumulative:
                 ack_value = max(self._highest_acked, segment.end_seq, self._highest_end
                                 if segment.is_retransmission else 0)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
     sequence: int
@@ -25,6 +25,8 @@ class _ScheduledEvent:
 
 class EventHandle:
     """Handle returned by :meth:`EventSimulator.schedule` for cancellation."""
+
+    __slots__ = ("_event", "_simulator")
 
     def __init__(self, event: _ScheduledEvent, simulator: "EventSimulator"):
         self._event = event

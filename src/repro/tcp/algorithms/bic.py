@@ -20,6 +20,7 @@ class Bic(CongestionAvoidance):
     name = "bic"
     label = "BIC"
     delay_based = False
+    batch_decoupled = True
 
     #: Below this window BIC behaves like RENO (Linux default 14).
     low_window = 14.0
@@ -45,6 +46,17 @@ class Bic(CongestionAvoidance):
         cwnd = state.cwnd
         count = self._increase_interval(cwnd)
         state.cwnd += 1.0 / count
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # w_last_max only changes on congestion events, so the per-ACK
+        # interval function sees the same inputs the scalar hook would.
+        cwnd = state.cwnd
+        interval = self._increase_interval
+        for _ in range(count):
+            cwnd += 1.0 / interval(cwnd)
+        state.cwnd = cwnd
+        return count, None
 
     def _increase_interval(self, cwnd: float) -> float:
         """Number of ACKs required to grow the window by one packet."""

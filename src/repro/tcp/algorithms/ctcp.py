@@ -35,6 +35,7 @@ class CompoundTcp(CongestionAvoidance):
     name = "ctcp"
     label = "CTCP"
     delay_based = True
+    batch_decoupled = True
 
     #: Threshold (packets of backlog) below which the path is deemed uncongested.
     gamma = 30.0
@@ -68,6 +69,16 @@ class CompoundTcp(CongestionAvoidance):
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         # The loss-based component always performs the RENO additive increase.
         state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # The delay window moves once per round; per ACK only the loss-based
+        # RENO increase runs.
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += 1.0 / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         """Update the delay window once per RTT round (congestion avoidance only)."""

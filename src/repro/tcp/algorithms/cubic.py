@@ -29,6 +29,7 @@ class Cubic(CongestionAvoidance):
     name = "cubic"
     label = "CUBIC"
     delay_based = False
+    batch_decoupled = True
 
     #: Cubic scaling constant C (packets / second^3).
     scaling_constant = 0.4
@@ -71,17 +72,62 @@ class Cubic(CongestionAvoidance):
             # Far beyond the target: grow extremely slowly (Linux: cwnd/100 ACKs).
             state.cwnd += 1.0 / (100.0 * max(state.cwnd, 1.0))
 
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # Within a clean run ``now`` and the RTT view are constant, so the
+        # cubic target is one fixed value; only the TCP-friendliness estimate
+        # and the window itself evolve per ACK. The loop replays the exact
+        # scalar operation sequence with those two hoisted to locals.
+        rtt = state.latest_rtt or state.srtt or 0.1
+        now = ctx.now
+        if self._epoch_start is None:
+            self._start_epoch(state, now)
+        t = now - self._epoch_start + rtt
+        target = self.scaling_constant * (t - self._k) ** 3 + self._origin_point
+        friendly = self.tcp_friendliness
+        friendly_rtt = state.latest_rtt or state.srtt
+        friendly_valid = friendly_rtt is not None and friendly_rtt > 0
+        aimd_rate = 3.0 * (1.0 - self.beta) / (1.0 + self.beta)
+        cwnd = state.cwnd
+        ack_count = self._ack_count
+        tcp_cwnd = self._tcp_cwnd
+        for _ in range(count):
+            ack_count += 1.0
+            goal = target
+            if friendly:
+                if friendly_valid:
+                    tcp_cwnd += aimd_rate * (ack_count / max(cwnd, 1.0))
+                    ack_count = 0.0
+                    if tcp_cwnd > goal:
+                        goal = tcp_cwnd
+                elif goal < 0.0:
+                    # _tcp_friendly_window returned 0.0; max(target, 0.0).
+                    goal = 0.0
+            if goal > cwnd:
+                cwnd += (goal - cwnd) / max(cwnd, 1.0)
+            else:
+                cwnd += 1.0 / (100.0 * max(cwnd, 1.0))
+        state.cwnd = cwnd
+        self._ack_count = ack_count
+        self._tcp_cwnd = tcp_cwnd
+        return count, None
+
+    def _start_epoch(self, state: CongestionState, now: float) -> None:
+        """Open a cubic epoch (shared by the scalar and batch growth paths)."""
+        self._epoch_start = now
+        self._ack_count = 0.0
+        self._tcp_cwnd = state.cwnd
+        if state.cwnd < self._w_last_max:
+            self._k = ((self._w_last_max - state.cwnd)
+                       / self.scaling_constant) ** (1.0 / 3.0)
+            self._origin_point = self._w_last_max
+        else:
+            self._k = 0.0
+            self._origin_point = state.cwnd
+
     def _cubic_target(self, state: CongestionState, now: float, rtt: float) -> float:
         if self._epoch_start is None:
-            self._epoch_start = now
-            self._ack_count = 0.0
-            self._tcp_cwnd = state.cwnd
-            if state.cwnd < self._w_last_max:
-                self._k = ((self._w_last_max - state.cwnd) / self.scaling_constant) ** (1.0 / 3.0)
-                self._origin_point = self._w_last_max
-            else:
-                self._k = 0.0
-                self._origin_point = state.cwnd
+            self._start_epoch(state, now)
         self._ack_count += 1.0
         t = now - self._epoch_start + rtt
         return self.scaling_constant * (t - self._k) ** 3 + self._origin_point

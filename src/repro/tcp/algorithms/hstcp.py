@@ -21,6 +21,7 @@ class HighSpeedTcp(CongestionAvoidance):
     name = "hstcp"
     label = "HSTCP"
     delay_based = False
+    batch_decoupled = True
 
     #: Window below which HSTCP behaves exactly like RENO.
     low_window = 38.0
@@ -33,6 +34,15 @@ class HighSpeedTcp(CongestionAvoidance):
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         increase = self.additive_increase(state.cwnd)
         state.cwnd += increase / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        cwnd = state.cwnd
+        additive = self.additive_increase
+        for _ in range(count):
+            cwnd += additive(cwnd) / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def ssthresh_after_loss(self, state: CongestionState) -> float:
         b = self.decrease_parameter(state.cwnd)

@@ -21,6 +21,7 @@ class HTcp(CongestionAvoidance):
     name = "htcp"
     label = "HTCP"
     delay_based = False
+    batch_decoupled = True
 
     #: Low-speed regime duration after a congestion event (seconds).
     delta_l = 1.0
@@ -41,6 +42,17 @@ class HTcp(CongestionAvoidance):
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         alpha = self.increase_factor(state, ctx.now)
         state.cwnd += alpha / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # The increase factor depends only on the (constant within a run)
+        # time since the last congestion event and the current beta.
+        alpha = self.increase_factor(state, ctx.now)
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += alpha / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def increase_factor(self, state: CongestionState, now: float) -> float:
         """Packets added per RTT, as a function of time since last congestion."""

@@ -18,6 +18,7 @@ class Hybla(CongestionAvoidance):
     name = "hybla"
     label = "HYBLA"
     delay_based = False
+    batch_decoupled = True
 
     #: Reference round-trip time in seconds.
     reference_rtt = 0.025
@@ -39,6 +40,15 @@ class Hybla(CongestionAvoidance):
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         rho = self._rho(state)
         state.cwnd += (rho ** 2) / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        rho_squared = self._rho(state) ** 2
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += rho_squared / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def ssthresh_after_loss(self, state: CongestionState) -> float:
         return state.cwnd * self.beta

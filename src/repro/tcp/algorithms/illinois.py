@@ -23,6 +23,7 @@ class Illinois(CongestionAvoidance):
     name = "illinois"
     label = "ILLINOIS"
     delay_based = True
+    batch_decoupled = True
 
     alpha_min = 0.3
     alpha_max = 10.0
@@ -56,6 +57,20 @@ class Illinois(CongestionAvoidance):
         if ctx.rtt_sample is not None and math.isfinite(state.min_rtt):
             self._round_delays.append(max(0.0, ctx.rtt_sample - state.min_rtt))
         state.cwnd += self._alpha / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # alpha only changes at round boundaries; the per-ACK delay sample is
+        # the same constant for every ACK of a clean run.
+        if ctx.rtt_sample is not None and math.isfinite(state.min_rtt):
+            delay = max(0.0, ctx.rtt_sample - state.min_rtt)
+            self._round_delays.extend([delay] * count)
+        alpha = self._alpha
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += alpha / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         # alpha and beta are refreshed every round, in slow start as well as in

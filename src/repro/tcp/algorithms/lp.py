@@ -22,6 +22,7 @@ class LowPriorityTcp(CongestionAvoidance):
     name = "lp"
     label = "LP"
     delay_based = True
+    batch_decoupled = True
 
     #: Early-congestion threshold as a fraction of the delay range.
     delay_threshold = 0.15
@@ -47,6 +48,58 @@ class LowPriorityTcp(CongestionAvoidance):
         else:
             self._within_inference = False
             state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, list[float]]:
+        """Batched TCP-LP: replays the per-ACK delay filter and backoffs.
+
+        The backoff can *shrink* the window mid-run, so the hook returns the
+        per-ACK window log for the sender's transmission bookkeeping and
+        stops as soon as a backoff drops the window below ``ssthresh`` (the
+        scalar engine would route the next ACK through slow start again).
+        """
+        log: list[float] = []
+        append = log.append
+        cwnd = state.cwnd
+        ssthresh = state.ssthresh
+        smoothed = self._smoothed_delay
+        min_rtt = state.min_rtt
+        max_rtt = state.max_rtt
+        delay = None
+        if ctx.rtt_sample is not None and math.isfinite(min_rtt):
+            delay = max(0.0, ctx.rtt_sample - min_rtt)
+        range_valid = math.isfinite(min_rtt) and max_rtt > min_rtt
+        threshold = (self.delay_threshold * (max_rtt - min_rtt)
+                     if range_valid else 0.0)
+        within = self._within_inference
+        last_time = self._last_inference_time
+        window = self.inference_window
+        now = ctx.now
+        consumed = 0
+        while consumed < count:
+            if delay is not None:
+                smoothed = 0.875 * smoothed + 0.125 * delay
+            if range_valid and smoothed > threshold:
+                if within and last_time is not None and now - last_time <= window:
+                    cwnd = 1.0
+                else:
+                    cwnd = max(cwnd / 2.0, 1.0)
+                    within = True
+                last_time = now
+                append(cwnd)
+                consumed += 1
+                if cwnd < ssthresh:
+                    break
+            else:
+                within = False
+                cwnd += 1.0 / max(cwnd, 1.0)
+                append(cwnd)
+                consumed += 1
+        state.cwnd = cwnd
+        self._smoothed_delay = smoothed
+        self._within_inference = within
+        self._last_inference_time = last_time
+        return consumed, log
 
     def _update_delay(self, state: CongestionState, ctx: AckContext) -> None:
         if ctx.rtt_sample is None or not math.isfinite(state.min_rtt):

@@ -16,6 +16,7 @@ class Reno(CongestionAvoidance):
     name = "reno"
     label = "RENO"
     delay_based = False
+    batch_decoupled = True
 
     #: Multiplicative decrease parameter (the paper's beta for RENO is 0.5).
     beta = 0.5
@@ -23,6 +24,14 @@ class Reno(CongestionAvoidance):
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         # One packet per congestion window's worth of ACKs, i.e. one per RTT.
         state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += 1.0 / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def ssthresh_after_loss(self, state: CongestionState) -> float:
         return state.cwnd * self.beta

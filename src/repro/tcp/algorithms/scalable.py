@@ -17,6 +17,7 @@ class ScalableTcp(CongestionAvoidance):
     name = "stcp"
     label = "STCP"
     delay_based = False
+    batch_decoupled = True
 
     #: Packets added per received ACK during congestion avoidance.
     increase_per_ack = 0.01
@@ -30,6 +31,19 @@ class ScalableTcp(CongestionAvoidance):
             state.cwnd += 1.0 / max(state.cwnd, 1.0)
         else:
             state.cwnd += self.increase_per_ack
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        cwnd = state.cwnd
+        low_window = self.low_window
+        increase = self.increase_per_ack
+        for _ in range(count):
+            if cwnd < low_window:
+                cwnd += 1.0 / max(cwnd, 1.0)
+            else:
+                cwnd += increase
+        state.cwnd = cwnd
+        return count, None
 
     def ssthresh_after_loss(self, state: CongestionState) -> float:
         if state.cwnd < self.low_window:

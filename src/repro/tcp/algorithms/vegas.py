@@ -25,6 +25,7 @@ class Vegas(CongestionAvoidance):
     name = "vegas"
     label = "VEGAS"
     delay_based = True
+    batch_decoupled = True
 
     #: Lower and upper backlog thresholds in packets (Linux defaults 2 and 4).
     alpha = 2.0
@@ -41,6 +42,11 @@ class Vegas(CongestionAvoidance):
         # Vegas adjusts its window once per RTT (in on_round_complete), so the
         # per-ACK hook does nothing.
         return
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # A run of no-ops is a no-op; the window trivially stays monotone.
+        return count, None
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         rtt = state.last_round_rtt or state.latest_rtt

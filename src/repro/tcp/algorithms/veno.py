@@ -21,6 +21,7 @@ class Veno(CongestionAvoidance):
     name = "veno"
     label = "VENO"
     delay_based = True
+    batch_decoupled = True
 
     #: Backlog threshold distinguishing random from congestive loss (packets).
     backlog_threshold = 3.0
@@ -49,6 +50,26 @@ class Veno(CongestionAvoidance):
             else:
                 state.cwnd += 1.0 / max(state.cwnd, 1.0)
                 self._hold_growth = True
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # The backlog estimate only changes at round boundaries, so the run
+        # stays in one growth mode; the every-other-ACK toggle is replayed.
+        cwnd = state.cwnd
+        if self._backlog < self.backlog_threshold:
+            for _ in range(count):
+                cwnd += 1.0 / max(cwnd, 1.0)
+        else:
+            hold = self._hold_growth
+            for _ in range(count):
+                if hold:
+                    hold = False
+                else:
+                    cwnd += 1.0 / max(cwnd, 1.0)
+                    hold = True
+            self._hold_growth = hold
+        state.cwnd = cwnd
+        return count, None
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         rtt = state.last_round_rtt or state.latest_rtt

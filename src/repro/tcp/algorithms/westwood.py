@@ -27,6 +27,10 @@ class WestwoodPlus(CongestionAvoidance):
     name = "westwood"
     label = "WESTWOOD+"
     delay_based = True
+    #: The idle-gap detector reads the evolving ``srtt`` on every ACK, so the
+    #: batched engine must keep per-ACK interleaving of RTT registration and
+    #: growth (the base-class default, made explicit here).
+    batch_decoupled = False
 
     #: Low-pass filter coefficient for the bandwidth estimate (Linux: 7/8).
     filter_gain = 7.0 / 8.0

@@ -22,6 +22,7 @@ class Yeah(CongestionAvoidance):
     name = "yeah"
     label = "YEAH"
     delay_based = True
+    batch_decoupled = True
 
     #: Maximum tolerated queue backlog in packets (Linux alpha = 80).
     max_queue = 80.0
@@ -51,6 +52,18 @@ class Yeah(CongestionAvoidance):
             self._scalable.on_ack_avoidance(state, ctx)
         else:
             state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # The mode flag only flips at round boundaries, so the whole run uses
+        # one growth rule.
+        if self._fast_mode:
+            return self._scalable.on_ack_avoidance_batch(state, ctx, count)
+        cwnd = state.cwnd
+        for _ in range(count):
+            cwnd += 1.0 / max(cwnd, 1.0)
+        state.cwnd = cwnd
+        return count, None
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         rtt = state.last_round_rtt or state.latest_rtt

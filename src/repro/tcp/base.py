@@ -107,6 +107,19 @@ class CongestionAvoidance(ABC):
     label: str = "abstract"
     #: True for algorithms that use delay signals (affects example tooling only).
     delay_based: bool = False
+    #: Whether the batched ACK engine may register a clean run's (identical)
+    #: RTT samples with the sender's RTO estimator *before* running the
+    #: window growth, instead of interleaving registration and growth per
+    #: ACK as the scalar engine does. Opting in asserts two properties of
+    #: the growth hooks: (a) they read at most ``latest_rtt`` / ``min_rtt``
+    #: / ``max_rtt`` (constant under a run of identical samples) but not the
+    #: evolving ``srtt``, and (b) they ignore ``ctx.newly_acked_packets``
+    #: (so the engine may batch runs whose ACKs cover more than one packet,
+    #: e.g. after an ACK was lost). The conservative default keeps unknown
+    #: subclasses on the per-ACK interleaved path; every registry algorithm
+    #: opts in except Westwood+, whose idle-gap detector reads ``srtt`` and
+    #: whose bandwidth filter counts ``newly_acked_packets`` on every ACK.
+    batch_decoupled: bool = False
 
     def on_connection_start(self, state: CongestionState) -> None:
         """Initialise per-connection algorithm state."""
@@ -127,6 +140,47 @@ class CongestionAvoidance(ABC):
     @abstractmethod
     def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
         """Grow the window during congestion avoidance (called once per ACK)."""
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, list[float] | None]:
+        """Grow the window for up to ``count`` consecutive avoidance ACKs.
+
+        Returns ``(consumed, cwnd_log)``. Contract (enforced by the
+        batch/scalar parity tests):
+
+        * processing ``consumed`` ACKs must be bit-identical to that many
+          sequential :meth:`on_ack_avoidance` calls with the same (frozen,
+          constant) ``ctx`` -- overrides therefore replay the exact
+          floating-point operation sequence of the scalar hook, merely
+          hoisting attribute access and allocation out of the loop;
+        * ``consumed`` may be less than ``count`` only when the window fell
+          back below ``ssthresh`` (the scalar engine would route the next
+          ACK through slow start again); implementations that can shrink the
+          window must stop there;
+        * ``cwnd_log`` is ``None`` when the implementation guarantees
+          ``cwnd`` evolved monotonically non-decreasing across the run (the
+          sender then derives the transmission window from the final value
+          alone), or the list of ``cwnd`` values after each processed ACK
+          otherwise;
+        * splitting a run (``count = a`` then ``count = b``) must equal one
+          ``count = a + b`` call, so the sender may peel off the final ACK of
+          a round.
+
+        The default loops over the scalar hook and logs every ``cwnd``, which
+        satisfies the contract for any subclass. A class that overrides
+        :meth:`on_ack_avoidance` without revisiting its inherited batch
+        override is detected by the sender and routed back to this default.
+        """
+        log: list[float] = []
+        append = log.append
+        consumed = 0
+        while consumed < count:
+            self.on_ack_avoidance(state, ctx)
+            append(state.cwnd)
+            consumed += 1
+            if state.cwnd < state.ssthresh:
+                break
+        return consumed, log
 
     def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
         """Hook invoked once per RTT round (used by delay-based algorithms)."""

@@ -17,12 +17,72 @@ segments it wants to transmit.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState, MIN_CWND
 from repro.tcp.packet import Segment
 from repro.tcp.rto import RtoEstimator
-from repro.tcp.slow_start import make_slow_start
+from repro.tcp.slow_start import loop_slow_start_run, make_slow_start
+
+#: Environment knob: set ``REPRO_ACK_BATCH=0`` to force the scalar per-ACK
+#: engine everywhere (the batched fast path is bit-identical, so this exists
+#: for debugging and for the parity tests, not for correctness).
+ACK_BATCH_ENV = "REPRO_ACK_BATCH"
+
+#: Runs shorter than this are processed by the scalar loop outright; the
+#: batch bookkeeping only pays for itself on longer runs.
+_MIN_BATCH_RUN = 4
+
+
+def ack_batch_enabled() -> bool:
+    """Whether the batched ACK fast path is enabled (read per sender)."""
+    return os.environ.get(ACK_BATCH_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+def _defining_class(alg_type: type, attribute: str) -> type | None:
+    for klass in alg_type.__mro__:
+        if attribute in vars(klass):
+            return klass
+    return None
+
+
+def _defined_below(alg_type: type, attribute: str, anchor: type) -> bool:
+    """Whether ``attribute`` is (re)defined in a proper subclass of ``anchor``."""
+    defining = _defining_class(alg_type, attribute)
+    return (defining is not None and defining is not anchor
+            and issubclass(defining, anchor))
+
+
+def _batch_override_consistent(alg_type: type) -> bool:
+    """Whether the class's batch hook was written for its scalar growth rule.
+
+    A subclass that overrides ``on_ack_avoidance`` while inheriting a batch
+    override written for an ancestor's growth rule would diverge from the
+    scalar engine; such classes are routed back to the safe per-ACK default.
+    """
+    batch_cls = _defining_class(alg_type, "on_ack_avoidance_batch")
+    if batch_cls is None or batch_cls is CongestionAvoidance:
+        return True
+    return not _defined_below(alg_type, "on_ack_avoidance", batch_cls)
+
+
+def _batch_decoupled_trusted(alg_type: type) -> bool:
+    """Whether the class's ``batch_decoupled`` flag covers its growth hooks.
+
+    The flag asserts properties of *both* growth hooks (they ignore the
+    evolving ``srtt`` and ``ctx.newly_acked_packets``); a subclass that
+    overrides either hook below the class that made the assertion may have
+    invalidated it, so such classes fall back to the per-ACK interleaved
+    path and unit-advance runs.
+    """
+    flag_cls = _defining_class(alg_type, "batch_decoupled")
+    if flag_cls is None or flag_cls is CongestionAvoidance:
+        return True  # the conservative default (False) applies anyway
+    return not (_defined_below(alg_type, "on_ack_avoidance", flag_cls)
+                or _defined_below(alg_type, "on_ack_slow_start", flag_cls))
 
 
 @dataclass
@@ -120,6 +180,25 @@ class TcpSender:
         self._had_timeout = False
         self._spurious_timeouts = 0
 
+        # ---- batched ACK engine wiring ----------------------------------
+        self._batch_enabled = ack_batch_enabled()
+        #: Number of ACK runs the fast path processed (diagnostics/tests).
+        self.batch_runs = 0
+        alg_type = type(algorithm)
+        self._alg_uses_policy_ss = (
+            alg_type.on_ack_slow_start is CongestionAvoidance.on_ack_slow_start)
+        consistent = _batch_override_consistent(alg_type)
+        self._batch_decoupled = (consistent
+                                 and _batch_decoupled_trusted(alg_type)
+                                 and bool(getattr(algorithm, "batch_decoupled", False)))
+        if consistent:
+            self._avoidance_batch = algorithm.on_ack_avoidance_batch
+        else:
+            self._avoidance_batch = (
+                lambda state, ctx, count:
+                CongestionAvoidance.on_ack_avoidance_batch(algorithm, state, ctx, count))
+        self._policy_ack_run = getattr(self.slow_start_policy, "on_ack_run", None)
+
     # ------------------------------------------------------------------ data
     @property
     def total_packets(self) -> int:
@@ -183,6 +262,359 @@ class TcpSender:
             return self._on_duplicate_ack(now)
         return self._on_new_ack(ack_packets, now)
 
+    def on_ack_run(self, ack_values: Sequence[int], now: float) -> list[Segment]:
+        """Process a round's run of in-order cumulative ACKs in one call.
+
+        Behaviour is identical to feeding the values one by one to
+        :meth:`on_ack`. The batched fast path consumes the longest *clean*
+        prefix of the remaining run -- monotone advances within the current
+        round, no recovery or F-RTO state, no quirk configuration, uniform
+        send times -- and any ACK that breaks the clean shape (a duplicate, a
+        retransmitted packet, a round-boundary crossing) is handed to the
+        scalar per-ACK engine before the fast path re-engages, so every trace
+        is bit-identical either way (the batch/scalar parity test matrix
+        enforces this).
+        """
+        out: list[Segment] = []
+        n = len(ack_values)
+        index = 0
+        while index < n:
+            if n - index >= _MIN_BATCH_RUN and self._run_eligible():
+                consumed, segments = self._on_ack_run_fast(ack_values, index, now)
+                if consumed:
+                    self.batch_runs += 1
+                    out.extend(segments)
+                    index += consumed
+                    continue
+            out.extend(self.on_ack(ack_values[index], now))
+            index += 1
+        return out
+
+    # ------------------------------------------------------- batched fast path
+    def _run_eligible(self) -> bool:
+        """Cheap config/state screening before the per-run checks."""
+        config = self.config
+        return (self._batch_enabled
+                and self._started
+                and not self._in_recovery
+                and not self._frto_state
+                and config.approach_ceiling is None
+                and not config.use_cwnd_moderation
+                and not config.freeze_in_avoidance
+                and not (config.post_timeout_stall and self._had_timeout)
+                and self._round_end > self._snd_una)
+
+    def _on_ack_run_fast(self, ack_values: Sequence[int], start: int,
+                         now: float) -> tuple[int, list[Segment]]:
+        """Process the longest clean prefix of ``ack_values[start:]``.
+
+        Returns ``(consumed, segments)``; ``consumed == 0`` means no prefix
+        long enough for the batch bookkeeping was clean and the caller should
+        take the scalar path for the next ACK.
+        """
+        mss = self.config.mss
+        total_bytes = self._total_bytes
+        total_packets = self.total_packets
+        u0 = self._snd_una
+        round_end = self._round_end
+        decoupled = self._batch_decoupled
+
+        # The prefix must advance the cumulative point monotonically and stay
+        # within the current round. Unit advances are the shape every clean
+        # CAAI round produces; larger jumps (earlier ACK or data loss) are
+        # fine for decoupled algorithms, whose growth hooks ignore
+        # ``newly_acked_packets``.
+        positions: list[int] = []
+        previous = u0
+        index = start
+        n = len(ack_values)
+        while index < n:
+            value = ack_values[index]
+            pkt = value // mss
+            if value >= total_bytes and total_bytes > 0:
+                pkt = max(pkt, total_packets)
+            if pkt <= previous or pkt > round_end:
+                break
+            if pkt != previous + 1 and not decoupled:
+                break
+            previous = pkt
+            positions.append(pkt)
+            index += 1
+        k = len(positions)
+        if k < _MIN_BATCH_RUN:
+            return 0, []
+
+        # Karn's rule screening: none of the packets the prefix samples RTTs
+        # from (the newest packet each ACK covers) was retransmitted, and all
+        # were sent at the same time (one round's burst); truncate the prefix
+        # at the first violation.
+        send_times = self._send_times
+        retransmitted = self._retransmitted
+        t0 = send_times.get(positions[0] - 1)
+        cut = k
+        if retransmitted:
+            for offset, position in enumerate(positions):
+                if (position - 1 in retransmitted
+                        or send_times.get(position - 1) != t0):
+                    cut = offset
+                    break
+        else:
+            for offset, position in enumerate(positions):
+                if send_times.get(position - 1) != t0:
+                    cut = offset
+                    break
+        if cut < k:
+            if cut < _MIN_BATCH_RUN:
+                return 0, []
+            k = cut
+            del positions[k:]
+        last = positions[-1]
+        if t0 is None:
+            rtt = None
+        elif self._last_timeout_time is not None and t0 < self._last_timeout_time:
+            rtt = None
+        else:
+            rtt = max(now - t0, 1e-9)
+
+        state = self.state
+        ctx = AckContext(now=now, rtt_sample=rtt, newly_acked_packets=1)
+        rwnd_packets = self.config.receive_window_bytes / mss
+        send_buffer = self.config.send_buffer_packets
+
+        def eff_int(cwnd: float) -> int:
+            """``int(self.effective_window())`` with the quirks excluded."""
+            window = cwnd
+            if window > rwnd_packets:
+                window = rwnd_packets
+            if send_buffer is not None and window > send_buffer:
+                window = send_buffer
+            return int(window)
+
+        snd_nxt0 = self._snd_nxt
+        if rtt is not None and not self._batch_decoupled:
+            cap_max = self._run_interleaved(u0, k, ctx, rtt, now, eff_int)
+        else:
+            # Decoupled flow: register the (identical) RTT samples once, then
+            # run the growth in batch. Registration only moves ``srtt``
+            # between ACKs, which decoupled algorithms never read mid-run.
+            if rtt is not None:
+                self.rto.observe_run(rtt, k)
+                state.latest_rtt = rtt
+                state.srtt = self.rto.srtt
+                if rtt < state.min_rtt:
+                    state.min_rtt = rtt
+                if rtt > state.max_rtt:
+                    state.max_rtt = rtt
+            cap_max = 0
+            if k > 1:
+                cap_max = self._grow_run(positions, 0, k - 1, ctx, rtt, now, eff_int)
+            self._grow_run(positions, k - 1, k, ctx, rtt, now, None)
+        # The scalar engine adds every ACK's full packet advance to the
+        # round's tally; the growth above counted one per ACK.
+        extra_acked = (last - u0) - k
+        if extra_acked:
+            state.acked_in_round += extra_acked
+
+        if last == self._round_end:
+            # The run closes the round: replicate _maybe_complete_round (the
+            # quirk suppressions were excluded by eligibility).
+            state.last_round_rtt = rtt or state.latest_rtt
+            round_ctx = AckContext(now=now, rtt_sample=rtt,
+                                   newly_acked_packets=0, round_completed=True)
+            if not state.in_slow_start():
+                state.avoidance_rounds += 1
+            self.algorithm.on_round_complete(state, round_ctx)
+            state.acked_in_round = 0
+            self._round_start_time = now
+        state.clamp()
+
+        final_cap = last + eff_int(state.cwnd)
+        if final_cap > cap_max:
+            cap_max = final_cap
+        new_nxt = cap_max
+        if new_nxt > total_packets:
+            new_nxt = total_packets
+        if new_nxt < snd_nxt0:
+            new_nxt = snd_nxt0
+        segments = self._emit_segments(snd_nxt0, new_nxt, now)
+        self._snd_nxt = new_nxt
+        self._snd_una = last
+        self._dupack_count = 0
+        self._prune_acked(u0, last)
+        if self._snd_una >= self._round_end:
+            self._round_end = self._snd_nxt
+        if self._snd_una < self._snd_nxt or self._snd_nxt < total_packets:
+            self._arm_timer(now)
+        else:
+            self._timer_deadline = None
+        return k, segments
+
+    def _grow_run(self, positions: list[int], begin: int, end: int,
+                  ctx: AckContext, rtt: float | None, now: float,
+                  eff_int) -> int:
+        """Window growth for the clean ACKs ``positions[begin:end]`` (decoupled).
+
+        ``positions[i]`` is the unacknowledged point after the ``i``-th ACK
+        of the run. Returns the largest per-ACK transmission cap observed
+        (0 when ``eff_int`` is ``None``, i.e. the caller computes the cap
+        itself after round completion).
+        """
+        state = self.state
+        cap_max = 0
+        index = begin
+        if (state.in_slow_start() and self._round_start_time is not None
+                and state.acked_in_round == 0):
+            round_start = getattr(self.slow_start_policy, "on_round_start", None)
+            if round_start is not None:
+                round_start(state, now)
+        while index < end:
+            remaining = end - index
+            if state.in_slow_start():
+                # Slow start grows monotonically, so the cap at the end of
+                # the consumed stretch dominates the per-ACK caps within it.
+                if self._alg_uses_policy_ss:
+                    if self._policy_ack_run is not None:
+                        consumed = self._policy_ack_run(state, now, rtt, remaining)
+                    else:
+                        consumed = self._slow_start_policy_loop(remaining, now, rtt)
+                else:
+                    consumed = self._slow_start_algorithm_loop(remaining, ctx)
+                if consumed <= 0:
+                    break
+                index += consumed
+                if eff_int is not None:
+                    cap = positions[index - 1] + eff_int(state.cwnd)
+                    if cap > cap_max:
+                        cap_max = cap
+            else:
+                # A hook may consume fewer ACKs than offered when a backoff
+                # drops the window below ssthresh (slow start re-entry).
+                consumed, cwnd_log = self._avoidance_batch(state, ctx, remaining)
+                if consumed <= 0:
+                    break
+                if eff_int is not None:
+                    if cwnd_log is None:
+                        cap = positions[index + consumed - 1] + eff_int(state.cwnd)
+                        if cap > cap_max:
+                            cap_max = cap
+                    else:
+                        for offset, cwnd in enumerate(cwnd_log):
+                            cap = positions[index + offset] + eff_int(cwnd)
+                            if cap > cap_max:
+                                cap_max = cap
+                index += consumed
+        state.acked_in_round += index - begin
+        return cap_max
+
+    def _slow_start_policy_loop(self, count: int, now: float,
+                                rtt: float | None) -> int:
+        """Per-ACK slow start via the policy (custom policies without a run hook)."""
+        return loop_slow_start_run(self.slow_start_policy, self.state, now,
+                                    rtt, count)
+
+    def _slow_start_algorithm_loop(self, count: int, ctx: AckContext) -> int:
+        """Per-ACK slow start for algorithms overriding ``on_ack_slow_start``."""
+        state = self.state
+        algorithm = self.algorithm
+        consumed = 0
+        while consumed < count and state.in_slow_start():
+            before = state.cwnd
+            algorithm.on_ack_slow_start(state, ctx)
+            ssthresh = state.ssthresh
+            if math.isfinite(ssthresh):
+                upper = ssthresh if ssthresh >= before else before
+                if state.cwnd > upper:
+                    state.cwnd = upper
+            consumed += 1
+        return consumed
+
+    def _run_interleaved(self, u0: int, k: int, ctx: AckContext, rtt: float,
+                         now: float, eff_int) -> int:
+        """Per-ACK registration + growth for non-decoupled algorithms.
+
+        Keeps the scalar engine's exact interleaving (observe sample, update
+        RTT state, grow) for algorithms whose growth hooks read the evolving
+        ``srtt`` (Westwood+'s idle detector), while still batching everything
+        around the growth. Returns the largest cap over the first ``k - 1``
+        ACKs (the final ACK's cap is computed by the caller after round
+        completion).
+        """
+        state = self.state
+        algorithm = self.algorithm
+        policy = self.slow_start_policy
+        rto = self.rto
+        observe = rto.observe
+        uses_policy = self._alg_uses_policy_ss
+        cap_max = 0
+        last = k - 1
+        for i in range(k):
+            observe(rtt)
+            state.latest_rtt = rtt
+            state.srtt = rto.srtt
+            if rtt < state.min_rtt:
+                state.min_rtt = rtt
+            if rtt > state.max_rtt:
+                state.max_rtt = rtt
+            if state.in_slow_start():
+                if (self._round_start_time is not None
+                        and state.acked_in_round == 0
+                        and hasattr(policy, "on_round_start")):
+                    policy.on_round_start(state, now)
+                before = state.cwnd
+                algorithm.on_ack_slow_start(state, ctx)
+                if uses_policy:
+                    state.cwnd = before
+                    policy.on_ack(state, now, rtt)
+                ssthresh = state.ssthresh
+                if math.isfinite(ssthresh):
+                    upper = ssthresh if ssthresh >= before else before
+                    if state.cwnd > upper:
+                        state.cwnd = upper
+            else:
+                algorithm.on_ack_avoidance(state, ctx)
+            state.acked_in_round += 1
+            if i < last:
+                cap = (u0 + i + 1) + eff_int(state.cwnd)
+                if cap > cap_max:
+                    cap_max = cap
+        return cap_max
+
+    def _emit_segments(self, start: int, stop: int, now: float) -> list[Segment]:
+        """Build the run's new-data segments in one pass."""
+        if stop <= start:
+            return []
+        mss = self.config.mss
+        total_bytes = self._total_bytes
+        send_times = self._send_times
+        segments: list[Segment] = []
+        append = segments.append
+        for index in range(start, stop):
+            seq = index * mss
+            length = total_bytes - seq
+            if length > mss or length <= 0:
+                length = mss
+            send_times[index] = now
+            append(Segment(seq=seq, length=length, sent_at=now, packet_index=index))
+        return segments
+
+    def _prune_acked(self, start: int, stop: int) -> None:
+        """Drop send bookkeeping for packets now below ``snd_una``.
+
+        RTT samples are only ever taken for the newest packet a cumulative
+        ACK covers (always at or above the pre-ACK ``snd_una``), so entries
+        below the advanced point can never be read again; pruning them keeps
+        ``_send_times`` and ``_retransmitted`` bounded by the in-flight count
+        instead of growing over the whole probe. Karn's rule is untouched:
+        the retransmission marker is only consulted before the advance.
+        """
+        send_times = self._send_times
+        for index in range(start, stop):
+            send_times.pop(index, None)
+        retransmitted = self._retransmitted
+        if retransmitted:
+            for index in range(start, stop):
+                retransmitted.discard(index)
+
     def _on_duplicate_ack(self, now: float) -> list[Segment]:
         self._dupack_count += 1
         if self._frto_state:
@@ -207,8 +639,10 @@ class TcpSender:
         newly_acked = ack_packets - self._snd_una
         rtt_sample = self._rtt_sample_for(ack_packets - 1, now)
         self._register_rtt(rtt_sample, now)
+        previous_una = self._snd_una
         self._snd_una = ack_packets
         self._dupack_count = 0
+        self._prune_acked(previous_una, ack_packets)
 
         segments: list[Segment] = []
         if self._in_recovery and self._snd_una >= self._recovery_point:

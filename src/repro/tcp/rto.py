@@ -55,6 +55,34 @@ class RtoEstimator:
             self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt_sample
         self.backoff_exponent = 0
 
+    def observe_run(self, rtt_sample: float, count: int) -> None:
+        """Feed ``count`` identical RTT samples into the estimator.
+
+        Bit-identical to calling :meth:`observe` ``count`` times -- the loop
+        performs the same floating-point operations in the same order -- but
+        with the per-call attribute traffic hoisted out. The batched ACK
+        engine uses this for a round's run of equally-timed ACKs, where every
+        sample is the same ``now - sent_at`` value.
+        """
+        if count <= 0:
+            return
+        if rtt_sample <= 0:
+            raise ValueError("RTT sample must be positive")
+        srtt = self.srtt
+        rttvar = self.rttvar
+        if srtt is None:
+            srtt = rtt_sample
+            rttvar = rtt_sample / 2.0
+            count -= 1
+        alpha, beta = self.alpha, self.beta
+        one_minus_alpha, one_minus_beta = 1 - alpha, 1 - beta
+        for _ in range(count):
+            rttvar = one_minus_beta * rttvar + beta * abs(srtt - rtt_sample)
+            srtt = one_minus_alpha * srtt + alpha * rtt_sample
+        self.srtt = srtt
+        self.rttvar = rttvar
+        self.backoff_exponent = 0
+
     def current_rto(self) -> float:
         """Return the retransmission timeout, including any backoff."""
         if self.srtt is None or self.rttvar is None:

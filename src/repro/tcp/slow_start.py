@@ -15,6 +15,27 @@ from dataclasses import dataclass, field
 from repro.tcp.base import CongestionState
 
 
+def loop_slow_start_run(policy, state: CongestionState, now: float,
+                         rtt_sample: float | None, count: int) -> int:
+    """Generic batched slow start: loop the policy's per-ACK hook.
+
+    Replicates the sender's scalar slow-start step -- policy growth followed
+    by the ssthresh overshoot clamp -- for up to ``count`` ACKs, stopping when
+    slow start exits. Returns the number of ACKs consumed.
+    """
+    consumed = 0
+    while consumed < count and state.in_slow_start():
+        before = state.cwnd
+        policy.on_ack(state, now, rtt_sample)
+        ssthresh = state.ssthresh
+        if math.isfinite(ssthresh):
+            upper = ssthresh if ssthresh >= before else before
+            if state.cwnd > upper:
+                state.cwnd = upper
+        consumed += 1
+    return consumed
+
+
 class StandardSlowStart:
     """RFC 5681 slow start: one packet of growth per received ACK."""
 
@@ -22,6 +43,37 @@ class StandardSlowStart:
 
     def on_ack(self, state: CongestionState, now: float, rtt_sample: float | None) -> None:
         state.cwnd += 1.0
+
+    def on_ack_run(self, state: CongestionState, now: float,
+                   rtt_sample: float | None, count: int) -> int:
+        """Consume up to ``count`` slow-start ACKs in one call.
+
+        Bit-identical to the per-ACK path: with an infinite threshold and an
+        integral window the repeated ``+= 1.0`` is exact integer float
+        arithmetic, so the growth collapses to a single addition; otherwise a
+        tight loop replays the scalar operations. Returns the ACKs consumed
+        (the remainder of the run belongs to congestion avoidance).
+        """
+        cwnd = state.cwnd
+        ssthresh = state.ssthresh
+        if not math.isfinite(ssthresh):
+            if cwnd.is_integer():
+                state.cwnd = cwnd + count
+            else:
+                for _ in range(count):
+                    cwnd += 1.0
+                state.cwnd = cwnd
+            return count
+        consumed = 0
+        while consumed < count and cwnd < ssthresh:
+            before = cwnd
+            cwnd += 1.0
+            upper = ssthresh if ssthresh >= before else before
+            if cwnd > upper:
+                cwnd = upper
+            consumed += 1
+        state.cwnd = cwnd
+        return consumed
 
     def on_round_start(self, state: CongestionState, now: float) -> None:
         """No per-round state for the standard policy."""
@@ -82,6 +134,13 @@ class HybridSlowStart:
             if train_length >= self.ack_train_fraction * state.min_rtt:
                 self._exit_requested = True
         self._last_ack_time = now
+
+    def on_ack_run(self, state: CongestionState, now: float,
+                   rtt_sample: float | None, count: int) -> int:
+        """Batched entry point: hybrid slow start keeps its per-ACK detectors
+        (they are stateful in ACK arrival order), so the run simply loops the
+        scalar hook."""
+        return loop_slow_start_run(self, state, now, rtt_sample, count)
 
     def _detect_delay_increase(self, state: CongestionState, rtt_sample: float | None) -> None:
         if rtt_sample is None:

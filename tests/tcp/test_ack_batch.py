@@ -1,0 +1,317 @@
+"""Tests for the batched ACK engine (sender-level run API).
+
+The gather-level parity matrix lives in
+``tests/core/test_gather_batch_parity.py``; this module exercises the
+:meth:`TcpSender.on_ack_run` API directly: equivalence with the scalar
+per-ACK loop, fallback behaviour, the ``REPRO_ACK_BATCH`` knob, the
+send-bookkeeping pruning, and the batched RTO estimator.
+"""
+
+import math
+
+import pytest
+
+from repro.tcp.base import AckContext, CongestionAvoidance
+from repro.tcp.connection import (
+    ACK_BATCH_ENV,
+    SenderConfig,
+    TcpSender,
+    ack_batch_enabled,
+)
+from repro.tcp.packet import in_sequence
+from repro.tcp.registry import ALL_ALGORITHM_NAMES, create_algorithm
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.algorithms import Reno
+
+
+def make_sender(algorithm="reno", data_bytes=10_000_000, **config_kwargs):
+    config_kwargs.setdefault("mss", 100)
+    config_kwargs.setdefault("initial_window", 2)
+    sender = TcpSender(create_algorithm(algorithm)
+                      if isinstance(algorithm, str) else algorithm,
+                      SenderConfig(**config_kwargs))
+    sender.enqueue_bytes(data_bytes)
+    return sender
+
+
+def drive_probe(sender, rounds=30, rtt=1.0, use_run=True, w_timeout=256):
+    """Drive a sender through an emulated CAAI probe (timeout included).
+
+    Returns the per-round segment counts -- a window trace equivalent that
+    captures every observable transmission decision.
+    """
+    now = 0.0
+    segments = sender.start(now)
+    windows = []
+    timed_out = False
+    for _ in range(rounds):
+        windows.append(len(segments))
+        now += rtt
+        if not timed_out and len(segments) > w_timeout:
+            deadline = sender.next_timer_deadline()
+            assert deadline is not None
+            now = max(now, deadline)
+            segments = sender.on_timer(now)
+            timed_out = True
+            continue
+        acks = [seg.end_seq for seg in segments]
+        if use_run:
+            segments = sender.on_ack_run(acks, now)
+        else:
+            next_segments = []
+            for ack in acks:
+                next_segments.extend(sender.on_ack(ack, now))
+            segments = next_segments
+        if not segments:
+            break
+    return windows, now
+
+
+class TestRunApiEquivalence:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHM_NAMES)
+    def test_run_equals_scalar_loop(self, algorithm):
+        batch = make_sender(algorithm)
+        scalar = make_sender(algorithm)
+        windows_batch, _ = drive_probe(batch, use_run=True)
+        windows_scalar, _ = drive_probe(scalar, use_run=False)
+        assert windows_batch == windows_scalar
+        assert batch.snapshot() == scalar.snapshot()
+        assert batch.state.cwnd == scalar.state.cwnd
+        assert batch.rto.srtt == scalar.rto.srtt
+        assert batch.rto.rttvar == scalar.rto.rttvar
+
+    def test_fast_path_engages_on_clean_runs(self):
+        sender = make_sender("reno")
+        drive_probe(sender)
+        assert sender.batch_runs > 0
+
+    def test_duplicate_values_fall_back(self):
+        sender = make_sender("reno")
+        segments = sender.start(0.0)
+        acks = [seg.end_seq for seg in segments]
+        # Repeating the last value makes the run non-monotone: the sender
+        # must fall back and treat the repeat as a duplicate ACK.
+        sender.on_ack_run(acks + [acks[-1]] * 4, 1.0)
+        assert sender.batch_runs == 0
+        assert sender._dupack_count > 0
+
+    def test_mixed_send_times_split_at_the_boundary(self):
+        def drive(use_run):
+            sender = make_sender("reno", initial_window=8)
+            segments = sender.start(0.0)
+            # Acknowledge half the window first so the next run's segments
+            # carry two different transmission times.
+            first = [seg.end_seq for seg in segments[:4]]
+            later = [seg.end_seq for seg in segments[4:]]
+            mid = []
+            for ack in first:
+                mid.extend(sender.on_ack(ack, 1.0))
+            combined = later + [seg.end_seq for seg in mid]
+            if use_run:
+                out = sender.on_ack_run(combined, 2.0)
+            else:
+                out = []
+                for ack in combined:
+                    out.extend(sender.on_ack(ack, 2.0))
+            return sender, out
+
+        batch_sender, batch_out = drive(True)
+        scalar_sender, scalar_out = drive(False)
+        # The uniform-time prefix batches; the remainder (sent at a different
+        # time) is replayed through the scalar engine, identically.
+        assert batch_out == scalar_out
+        assert batch_sender.snapshot() == scalar_sender.snapshot()
+
+    def test_quirk_configs_fall_back(self):
+        for quirk in (dict(approach_ceiling=100.0),
+                      dict(use_cwnd_moderation=True),
+                      dict(freeze_in_avoidance=True)):
+            sender = make_sender("reno", **quirk)
+            drive_probe(sender, rounds=6)
+            assert sender.batch_runs == 0
+
+
+class TestCustomSubclassSafety:
+    def test_inherited_batch_override_is_rejected(self):
+        class EagerReno(Reno):
+            """Overrides the scalar hook but inherits RENO's batch override."""
+
+            name = "eager-reno"
+
+            def on_ack_avoidance(self, state, ctx):
+                state.cwnd += 2.0 / max(state.cwnd, 1.0)
+
+        batch = make_sender(EagerReno())
+        scalar = make_sender(EagerReno())
+        windows_batch, _ = drive_probe(batch, use_run=True)
+        windows_scalar, _ = drive_probe(scalar, use_run=False)
+        assert windows_batch == windows_scalar
+        assert batch.snapshot() == scalar.snapshot()
+
+    def test_slow_start_override_demotes_decoupling(self):
+        class ByteCountingReno(Reno):
+            """Overrides slow start to read ``newly_acked_packets``, which the
+            inherited ``batch_decoupled`` flag asserts growth never does."""
+
+            name = "abc-reno"
+
+            def on_ack_slow_start(self, state, ctx):
+                state.cwnd += float(ctx.newly_acked_packets)
+
+        assert not TcpSender(ByteCountingReno())._batch_decoupled
+
+        def drive(use_run):
+            sender = make_sender(ByteCountingReno())
+            now, segments = 0.0, sender.start(0.0)
+            windows = []
+            for _ in range(10):
+                windows.append(len(segments))
+                now += 1.0
+                # Drop one ACK per round so cumulative advances jump by two
+                # packets somewhere in the run.
+                acks = [seg.end_seq for seg in segments]
+                if len(acks) > 6:
+                    del acks[3]
+                if use_run:
+                    segments = sender.on_ack_run(acks, now)
+                else:
+                    nxt = []
+                    for ack in acks:
+                        nxt.extend(sender.on_ack(ack, now))
+                    segments = nxt
+            return windows, sender
+
+        windows_batch, batch_sender = drive(True)
+        windows_scalar, scalar_sender = drive(False)
+        assert windows_batch == windows_scalar
+        assert batch_sender.snapshot() == scalar_sender.snapshot()
+
+    def test_plain_custom_algorithm_uses_loop_fallback(self):
+        class Half(CongestionAvoidance):
+            name = "half"
+            label = "HALF"
+
+            def on_ack_avoidance(self, state, ctx):
+                state.cwnd += 0.5 / max(state.cwnd, 1.0)
+
+            def ssthresh_after_loss(self, state):
+                return state.cwnd * 0.5
+
+        batch = make_sender(Half())
+        scalar = make_sender(Half())
+        windows_batch, _ = drive_probe(batch, use_run=True)
+        windows_scalar, _ = drive_probe(scalar, use_run=False)
+        assert windows_batch == windows_scalar
+        assert batch.snapshot() == scalar.snapshot()
+
+
+class TestBatchKnob:
+    def test_knob_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv(ACK_BATCH_ENV, "0")
+        assert not ack_batch_enabled()
+        sender = make_sender("reno")
+        assert not sender._batch_enabled
+        windows, _ = drive_probe(sender)
+        assert sender.batch_runs == 0
+        monkeypatch.setenv(ACK_BATCH_ENV, "1")
+        assert ack_batch_enabled()
+        batch = make_sender("reno")
+        windows_batch, _ = drive_probe(batch)
+        assert batch.batch_runs > 0
+        assert windows_batch == windows
+
+    def test_knob_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(ACK_BATCH_ENV, raising=False)
+        assert ack_batch_enabled()
+
+
+class TestSendBookkeepingPruning:
+    @pytest.mark.parametrize("use_run", [True, False])
+    def test_send_times_stay_bounded(self, use_run):
+        sender = make_sender("cubic-b")
+        drive_probe(sender, rounds=30, use_run=use_run)
+        in_flight = sender.snd_nxt - sender.snd_una
+        assert len(sender._send_times) <= in_flight + 1
+        assert all(index >= sender.snd_una for index in sender._send_times)
+
+    def test_retransmission_marker_pruned_after_advance(self):
+        sender = make_sender("reno")
+        windows, now = drive_probe(sender, rounds=12, w_timeout=64)
+        # The probe took a timeout, so a retransmission was sent; acknowledge
+        # it and confirm the Karn marker is eventually pruned.
+        assert sender.timeouts
+        retransmission = sender.on_timer(max(now, sender.next_timer_deadline() or now))
+        for _ in range(40):
+            segments = retransmission if retransmission else []
+            if not segments:
+                break
+            now += 1.0
+            acks = sorted({seg.end_seq for seg in segments})
+            retransmission = sender.on_ack_run(acks, now)
+        assert all(index >= sender.snd_una for index in sender._retransmitted)
+
+    def test_karn_rule_still_discards_retransmitted_samples(self):
+        sender = make_sender("reno")
+        segments = sender.start(0.0)
+        sender.on_ack(segments[0].end_seq, 1.0)   # arms the RTO timer
+        deadline = sender.next_timer_deadline()
+        assert deadline is not None
+        segments = sender.on_timer(deadline)
+        assert segments and segments[0].is_retransmission
+        srtt_before = sender.rto.srtt
+        sender.on_ack(segments[0].end_seq, deadline + 1.0)
+        # The sample from the retransmitted packet must not feed the RTO.
+        assert sender.rto.srtt == srtt_before
+
+
+class TestObserveRun:
+    def test_matches_sequential_observe(self):
+        for count in (1, 2, 7, 64):
+            run = RtoEstimator()
+            loop = RtoEstimator()
+            run.observe(0.8)
+            loop.observe(0.8)
+            run.observe_run(1.0, count)
+            for _ in range(count):
+                loop.observe(1.0)
+            assert run.srtt == loop.srtt
+            assert run.rttvar == loop.rttvar
+            assert run.current_rto() == loop.current_rto()
+
+    def test_first_sample_initialisation(self):
+        run = RtoEstimator()
+        run.observe_run(0.5, 3)
+        loop = RtoEstimator()
+        for _ in range(3):
+            loop.observe(0.5)
+        assert run.srtt == loop.srtt and run.rttvar == loop.rttvar
+
+    def test_rejects_non_positive_samples(self):
+        with pytest.raises(ValueError):
+            RtoEstimator().observe_run(0.0, 2)
+
+    def test_zero_count_is_noop(self):
+        estimator = RtoEstimator()
+        estimator.observe_run(1.0, 0)
+        assert estimator.srtt is None
+
+
+class TestInSequence:
+    def test_ordered_input_is_returned_unchanged(self):
+        sender = make_sender("reno", initial_window=4)
+        segments = sender.start(0.0)
+        assert in_sequence(segments) is segments
+
+    def test_unordered_input_is_sorted_stably(self):
+        sender = make_sender("reno", initial_window=4)
+        segments = sender.start(0.0)
+        shuffled = [segments[2], segments[0], segments[3], segments[1]]
+        ordered = in_sequence(shuffled)
+        assert [seg.end_seq for seg in ordered] == sorted(
+            seg.end_seq for seg in shuffled)
+
+    def test_empty_and_single(self):
+        assert in_sequence([]) == []
+        sender = make_sender("reno", initial_window=1)
+        seg = sender.start(0.0)
+        assert in_sequence(seg) is seg
