@@ -1,16 +1,24 @@
-"""Probe-engine benchmark: batched ACK engine vs the scalar per-ACK engine.
+"""Probe-engine benchmark: segment-block engine vs the per-object engines.
 
 Times the CAAI probe hot paths -- trace gathering, the 100-server census and
-the training-set build -- with the batched ACK engine on and off, verifies
-the two engines produce bit-identical traces, and writes ``BENCH_probe.json``
-so the probe-side performance trajectory can be tracked across commits::
+the training-set build -- across the three engine generations (scalar
+per-ACK objects, batched-ACK objects, segment blocks), verifies the engines
+produce bit-identical traces, and writes ``BENCH_probe.json`` so the
+probe-side performance trajectory can be tracked across commits::
 
     PYTHONPATH=src python benchmarks/bench_probe.py [output.json]
+
+Besides the end-to-end timings the benchmark records a per-phase breakdown
+(emit / ACK engine / gather bookkeeping) and the number of Segment objects
+and SegmentBlock records materialised per probe, so a future devectorisation
+regression is attributable to the phase that caused it.
 
 The workload matches ``bench_smoke_inference.py``'s small scale (the same
 training-set and census configurations), so the census/training timings here
 are directly comparable with the ``BENCH_inference.json`` baselines recorded
-before the batched engine existed (census(100) 8.2 s, training set 22.4 s).
+before the batched engine existed (census(100) 8.2 s, training set 22.4 s)
+and with the PR 2 ``BENCH_probe.json`` baselines recorded before the block
+engine existed (census(100) 2.5 s, training set 5.8 s).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import json
 import os
 import sys
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -27,7 +36,13 @@ from repro.core.classifier import CaaiClassifier
 from repro.core.gather import GatherConfig, TraceGatherer
 from repro.core.training import TrainingSetBuilder
 from repro.net.conditions import NetworkCondition, default_condition_database
-from repro.tcp.connection import ACK_BATCH_ENV, SenderConfig, TcpSender
+from repro.tcp.connection import (
+    ACK_BATCH_ENV,
+    SEGMENT_BLOCKS_ENV,
+    SenderConfig,
+    TcpSender,
+)
+from repro.tcp.packet import Segment, SegmentBlock
 from repro.tcp.registry import IDENTIFIABLE_ALGORITHMS, create_algorithm
 from repro.web.population import PopulationConfig, ServerPopulation
 
@@ -36,12 +51,18 @@ N_TREES = 60
 #: Pre-batch baselines from BENCH_inference.json (PR 1, scalar engine).
 BASELINE_CENSUS_SECONDS = 8.2
 BASELINE_TRAINING_SECONDS = 22.4
-#: CI tripwire: the batched engine must beat the scalar engine by at least
-#: this factor on the probe workload. The development-machine measurement is
-#: ~3.4x (recorded in BENCH_probe.json); the threshold sits below it so
-#: loaded CI runners do not flake, while a fast path that silently stopped
-#: engaging (~1x) still fails loudly.
-TARGET_SPEEDUP = 2.5
+#: Pre-block baselines from BENCH_probe.json (PR 2, batched-ACK objects).
+PR2_CENSUS_SECONDS = 2.504
+PR2_TRAINING_SECONDS = 5.762
+#: CI tripwire: the batched ACK engine must beat the scalar engine (both on
+#: the object emitter, the historic comparison) by at least this factor.
+TARGET_ACK_SPEEDUP = 2.5
+#: CI tripwire: the segment-block engine must beat the batched-ACK object
+#: engine by at least this factor on the probe workload. The development
+#: machine measures ~6x; the threshold sits far below that so loaded CI
+#: runners do not flake, while a block path that silently stopped engaging
+#: (~1x) still fails loudly.
+TARGET_BLOCK_SPEEDUP = 2.5
 
 
 def _make_server(algorithm: str):
@@ -69,40 +90,136 @@ def timed(function):
     return time.perf_counter() - start, value
 
 
-def with_engine(enabled: bool, function):
-    os.environ[ACK_BATCH_ENV] = "1" if enabled else "0"
+def with_engine(blocks: bool, batch: bool, function):
+    os.environ[SEGMENT_BLOCKS_ENV] = "1" if blocks else "0"
+    os.environ[ACK_BATCH_ENV] = "1" if batch else "0"
     try:
         return timed(function)
     finally:
+        os.environ[SEGMENT_BLOCKS_ENV] = "1"
         os.environ[ACK_BATCH_ENV] = "1"
+
+
+def assert_trace_parity(label: str, left, right) -> None:
+    for probe_left, probe_right in zip(left, right):
+        if (probe_left.trace_a != probe_right.trace_a
+                or probe_left.trace_b != probe_right.trace_b):
+            raise SystemExit(f"FAIL: {label} traces diverge")
+
+
+# --------------------------------------------------------------- breakdown
+#: Sender entry points whose wall time counts as "ACK engine + emit". The
+#: depth guard keeps nested calls (``on_ack_ladder`` -> ``on_ack_packet``,
+#: legacy wrappers -> native methods) from double-counting.
+_SENDER_ENTRY_POINTS = ("start", "start_native", "on_ack", "on_ack_native",
+                        "on_ack_packet", "on_ack_run", "on_ack_run_native",
+                        "on_ack_ladder", "on_timer", "on_timer_native")
+_EMIT_POINTS = ("_emit_range", "_build_segment")
+
+
+@contextmanager
+def instrumented():
+    """Patch the sender and packet classes with counting/timing wrappers."""
+    timers = {"sender": 0.0, "emit": 0.0, "segments": 0, "blocks": 0}
+    state = {"depth": 0}
+    saved = {}
+
+    def timing_wrapper(original, bucket, guarded):
+        def wrapper(self, *args, **kwargs):
+            if guarded:
+                state["depth"] += 1
+                if state["depth"] > 1:
+                    try:
+                        return original(self, *args, **kwargs)
+                    finally:
+                        state["depth"] -= 1
+            start = time.perf_counter()
+            try:
+                return original(self, *args, **kwargs)
+            finally:
+                timers[bucket] += time.perf_counter() - start
+                if guarded:
+                    state["depth"] -= 1
+        return wrapper
+
+    def counting_wrapper(original, bucket):
+        def wrapper(self):
+            timers[bucket] += 1
+            original(self)
+        return wrapper
+
+    for name in _SENDER_ENTRY_POINTS:
+        saved[name] = getattr(TcpSender, name)
+        setattr(TcpSender, name, timing_wrapper(saved[name], "sender", True))
+    for name in _EMIT_POINTS:
+        saved[name] = getattr(TcpSender, name)
+        setattr(TcpSender, name, timing_wrapper(saved[name], "emit", False))
+    saved["segment_init"] = Segment.__post_init__
+    Segment.__post_init__ = counting_wrapper(saved["segment_init"], "segments")
+    saved["block_init"] = SegmentBlock.__post_init__
+    SegmentBlock.__post_init__ = counting_wrapper(saved["block_init"], "blocks")
+    try:
+        yield timers
+    finally:
+        for name in _SENDER_ENTRY_POINTS + _EMIT_POINTS:
+            setattr(TcpSender, name, saved[name])
+        Segment.__post_init__ = saved["segment_init"]
+        SegmentBlock.__post_init__ = saved["block_init"]
+
+
+def phase_breakdown(blocks: bool) -> dict:
+    """One instrumented probe-workload pass, split into phases per probe."""
+    probes = len(IDENTIFIABLE_ALGORITHMS)
+    with instrumented() as timers:
+        total_seconds, _ = with_engine(blocks, True, probe_workload)
+    emit = timers["emit"]
+    ack_engine = max(timers["sender"] - emit, 0.0)
+    gather = max(total_seconds - timers["sender"], 0.0)
+    return {
+        "emit_seconds": round(emit, 3),
+        "ack_engine_seconds": round(ack_engine, 3),
+        "gather_bookkeeping_seconds": round(gather, 3),
+        "segment_objects_per_probe": round(timers["segments"] / probes, 1),
+        "block_records_per_probe": round(timers["blocks"] / probes, 1),
+    }
 
 
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_probe.json"
     results: dict = {"scale": "small", "census_size": CENSUS_SIZE}
-
-    # ---- probe throughput, batched vs scalar, with a parity gate ----------
-    print("timing probe workload (batched vs scalar ACK engine) ...", flush=True)
-    ratios = []
-    batched_traces = scalar_traces = None
-    batched_best = scalar_best = float("inf")
-    for _ in range(3):
-        batched_seconds, batched_traces = with_engine(True, probe_workload)
-        scalar_seconds, scalar_traces = with_engine(False, probe_workload)
-        ratios.append(scalar_seconds / batched_seconds)
-        batched_best = min(batched_best, batched_seconds)
-        scalar_best = min(scalar_best, scalar_seconds)
-    for probe_batched, probe_scalar in zip(batched_traces, scalar_traces):
-        if (probe_batched.trace_a != probe_scalar.trace_a
-                or probe_batched.trace_b != probe_scalar.trace_b):
-            raise SystemExit("FAIL: batched and scalar traces diverge")
-    speedup = sorted(ratios)[len(ratios) // 2]
     probes = len(IDENTIFIABLE_ALGORITHMS)
+
+    # ---- probe throughput across the three engines, with parity gates -----
+    print("timing probe workload (blocks vs objects vs scalar) ...", flush=True)
+    block_ratios, ack_ratios = [], []
+    block_best = object_best = scalar_best = float("inf")
+    block_traces = object_traces = scalar_traces = None
+    for _ in range(3):
+        block_seconds, block_traces = with_engine(True, True, probe_workload)
+        object_seconds, object_traces = with_engine(False, True, probe_workload)
+        scalar_seconds, scalar_traces = with_engine(False, False, probe_workload)
+        block_ratios.append(object_seconds / block_seconds)
+        ack_ratios.append(scalar_seconds / object_seconds)
+        block_best = min(block_best, block_seconds)
+        object_best = min(object_best, object_seconds)
+        scalar_best = min(scalar_best, scalar_seconds)
+    assert_trace_parity("block vs object", block_traces, object_traces)
+    assert_trace_parity("object vs scalar", object_traces, scalar_traces)
+    block_speedup = sorted(block_ratios)[len(block_ratios) // 2]
+    ack_speedup = sorted(ack_ratios)[len(ack_ratios) // 2]
     results["probe_workload_probes"] = probes
-    results["probes_per_second"] = round(probes / batched_best, 2)
+    results["probes_per_second"] = round(probes / block_best, 2)
+    results["probes_per_second_objects"] = round(probes / object_best, 2)
     results["probes_per_second_scalar"] = round(probes / scalar_best, 2)
-    results["ack_engine_speedup"] = round(speedup, 2)
-    results["ack_engine_speedup_best"] = round(max(ratios), 2)
+    results["segment_block_speedup"] = round(block_speedup, 2)
+    results["segment_block_speedup_best"] = round(max(block_ratios), 2)
+    results["ack_engine_speedup"] = round(ack_speedup, 2)
+    results["ack_engine_speedup_best"] = round(max(ack_ratios), 2)
+
+    # ---- per-phase breakdown (attributes future regressions) --------------
+    print("profiling per-phase breakdown ...", flush=True)
+    results["phases_blocks"] = phase_breakdown(blocks=True)
+    results["phases_objects"] = phase_breakdown(blocks=False)
 
     # ---- ACK-path microbenchmark: one sender, one long slow-start round ---
     print("timing raw ACK run (1024-ACK round) ...", flush=True)
@@ -128,7 +245,7 @@ def main() -> None:
     results["ack_run_speedup"] = round(loop_seconds / run_seconds, 2)
 
     # ---- training set (same workload as bench_smoke_inference) -----------
-    print("building training set (batched engine) ...", flush=True)
+    print("building training set (block engine) ...", flush=True)
     def build_training_set():
         builder = TrainingSetBuilder(
             conditions_per_pair=6, seed=7,
@@ -140,6 +257,8 @@ def main() -> None:
     results["training_set_rows"] = len(training_set)
     results["training_set_speedup_vs_baseline"] = round(
         BASELINE_TRAINING_SECONDS / training_seconds, 2)
+    results["training_set_speedup_vs_pr2"] = round(
+        PR2_TRAINING_SECONDS / training_seconds, 2)
 
     # ---- census (same workload as bench_smoke_inference) ------------------
     print("running census ...", flush=True)
@@ -153,15 +272,26 @@ def main() -> None:
     results["census_valid_fraction"] = round(report.valid_fraction(), 3)
     results["census_speedup_vs_baseline"] = round(
         BASELINE_CENSUS_SECONDS / census_seconds, 2)
+    results["census_speedup_vs_pr2"] = round(
+        PR2_CENSUS_SECONDS / census_seconds, 2)
 
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(json.dumps(results, indent=2, sort_keys=True))
-    print(f"\nACK engine speedup on the probe workload: {speedup:.2f}x")
-    if speedup < TARGET_SPEEDUP:
-        raise SystemExit(
-            f"FAIL: speedup {speedup:.2f}x is below the {TARGET_SPEEDUP:.1f}x tripwire")
+    print(f"\nblock engine speedup on the probe workload: {block_speedup:.2f}x")
+    print(f"ACK engine speedup (object emitter): {ack_speedup:.2f}x")
+    failures = []
+    if block_speedup < TARGET_BLOCK_SPEEDUP:
+        failures.append(f"segment_block_speedup {block_speedup:.2f}x is below "
+                        f"the {TARGET_BLOCK_SPEEDUP:.1f}x tripwire")
+    if ack_speedup < TARGET_ACK_SPEEDUP:
+        failures.append(f"ack_engine_speedup {ack_speedup:.2f}x is below "
+                        f"the {TARGET_ACK_SPEEDUP:.1f}x tripwire")
+    if results["phases_blocks"]["segment_objects_per_probe"] > 0:
+        failures.append("the block pipeline materialised Segment objects")
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
     print(f"wrote {output_path}")
 
 

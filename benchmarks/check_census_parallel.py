@@ -1,0 +1,69 @@
+"""CI check: the census is bit-identical on the ``process`` backend.
+
+The parallel executor promises that a census fans out over worker processes
+without changing a single outcome (every server draws from its own
+seed-derived random stream). The promise is covered by unit tests, but the
+multiprocessing path itself used to be test-only; this check runs a small
+census twice -- serially and on the ``process`` backend with two workers --
+and fails loudly if the reports differ anywhere::
+
+    PYTHONPATH=src python benchmarks/check_census_parallel.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.classifier import CaaiClassifier
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import default_condition_database
+from repro.web.population import PopulationConfig, ServerPopulation
+
+CENSUS_SIZE = 24
+WORKERS = 2
+
+
+def run_census(classifier: CaaiClassifier, backend: str):
+    population = ServerPopulation(PopulationConfig(size=CENSUS_SIZE, seed=424))
+    population.generate()
+    runner = CensusRunner(classifier, CensusConfig(
+        seed=17, backend=backend,
+        max_workers=WORKERS if backend == "process" else None))
+    start = time.perf_counter()
+    report = runner.run(population)
+    return report, time.perf_counter() - start
+
+
+def main() -> None:
+    print("training a small classifier ...", flush=True)
+    builder = TrainingSetBuilder(
+        conditions_per_pair=2, seed=31, w_timeouts=(64,),
+        algorithms=("reno", "cubic-b", "vegas", "westwood"),
+        condition_database=default_condition_database(size=200, seed=9))
+    classifier = CaaiClassifier(n_trees=20, seed=5)
+    classifier.train(builder.build_dataset())
+
+    print(f"running census({CENSUS_SIZE}) serial vs process({WORKERS}) ...",
+          flush=True)
+    serial_report, serial_seconds = run_census(classifier, "serial")
+    process_report, process_seconds = run_census(classifier, "process")
+
+    if len(serial_report) != len(process_report):
+        raise SystemExit("FAIL: report sizes differ across backends")
+    if serial_report.outcomes != process_report.outcomes:
+        diverging = [
+            (serial.server_id, serial.category, parallel.category)
+            for serial, parallel in zip(serial_report.outcomes,
+                                        process_report.outcomes)
+            if serial != parallel]
+        raise SystemExit(
+            f"FAIL: {len(diverging)} outcomes differ across backends "
+            f"(first: {diverging[:3]})")
+    print(f"OK: {len(serial_report)} outcomes bit-identical "
+          f"(serial {serial_seconds:.2f}s, process {process_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,13 @@ from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
 from repro.net.conditions import NetworkCondition
 from repro.tcp.connection import TcpSender
 from repro.tcp.options import CAAI_MSS_LADDER
-from repro.tcp.packet import Segment, in_sequence
+from repro.tcp.packet import (
+    Segment,
+    SegmentBlock,
+    block_packet_count,
+    in_sequence,
+    in_sequence_blocks,
+)
 
 
 class ProbeableServer(Protocol):
@@ -181,6 +187,22 @@ class TraceGatherer:
     def _run_probe(self, sender: TcpSender, server: ProbeableServer,
                    environment: NetworkEnvironment, condition: NetworkCondition,
                    rng: np.random.Generator, start_time: float) -> WindowTrace:
+        """Dispatch to the block or per-segment pipeline (bit-identical).
+
+        Senders natively emitting :class:`SegmentBlock` records (the default;
+        ``REPRO_SEGMENT_BLOCKS=0`` forces the historic per-packet emitter) are
+        driven without materialising a single :class:`Segment` object: window
+        estimation, loss draws and the ACK ladder all run on block arithmetic.
+        """
+        if getattr(sender, "emits_blocks", False):
+            return self._run_probe_blocks(sender, server, environment,
+                                          condition, rng, start_time)
+        return self._run_probe_segments(sender, server, environment,
+                                        condition, rng, start_time)
+
+    def _run_probe_segments(self, sender: TcpSender, server: ProbeableServer,
+                            environment: NetworkEnvironment, condition: NetworkCondition,
+                            rng: np.random.Generator, start_time: float) -> WindowTrace:
         config = self.config
         trace = WindowTrace(environment=environment.name, w_timeout=config.w_timeout,
                             mss=config.mss,
@@ -312,6 +334,237 @@ class TraceGatherer:
             if lost:
                 ladder = [value for value, drop in zip(ladder, dropped) if not drop]
         return sender.on_ack_run(ladder, now), lost
+
+    # ------------------------------------------------- block-level pipeline
+    def _run_probe_blocks(self, sender: TcpSender, server: ProbeableServer,
+                          environment: NetworkEnvironment, condition: NetworkCondition,
+                          rng: np.random.Generator, start_time: float) -> WindowTrace:
+        """The probe driven on segment blocks: O(runs) per round, no objects.
+
+        Mirrors :meth:`_run_probe_segments` step for step. The highest
+        received sequence number is tracked both in bytes (window estimates
+        are byte-based, the stream tail may be shorter than one MSS) and in
+        packet-cumulative units (the sender's ACK ladder works in packets;
+        acknowledging segment ``i`` always advances the cumulative point to
+        ``i + 1``, which is exactly the block's ``stop_index``).
+        """
+        config = self.config
+        trace = WindowTrace(environment=environment.name, w_timeout=config.w_timeout,
+                            mss=config.mss,
+                            required_post_rounds=config.rounds_after_timeout)
+        now = start_time
+        blocks = sender.start_native(now)
+        highest_end = 0
+        highest_pkt = 0
+        highest_prev = 0
+
+        # ---- pre-timeout phase: slow start up to the emulated timeout ------
+        timed_out = False
+        for round_index in range(config.max_pre_timeout_rounds):
+            received = self._deliver_blocks(blocks, condition, rng)
+            if not received:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+            for block in received:
+                if block.end_seq > highest_end:
+                    highest_end = block.end_seq
+                if block.stop_index > highest_pkt:
+                    highest_pkt = block.stop_index
+            window = self._window_estimate_blocks(received, highest_end, highest_prev)
+            highest_prev = highest_end
+            trace.pre_timeout.append(window)
+            now += environment.rtt_before_timeout(round_index)
+            if window > config.w_timeout:
+                timed_out = True
+                break
+            blocks, lost_acks = self._acknowledge_blocks(sender, received, condition,
+                                                         rng, now, highest_pkt)
+            trace.ack_loss_events += lost_acks
+            if not blocks:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+        if not timed_out:
+            trace.invalid_reason = InvalidReason.WINDOW_BELOW_W_TIMEOUT
+            return trace
+
+        # ---- the emulated timeout ------------------------------------------
+        deadline = sender.next_timer_deadline()
+        if deadline is None:
+            trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
+            return trace
+        now = max(now, deadline)
+        blocks = sender.on_timer_native(now)
+        if not blocks:
+            trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
+            return trace
+        if server.uses_frto():
+            # One duplicate ACK makes an F-RTO server fall back to the
+            # conventional timeout recovery (Section IV-C).
+            sender.on_ack_packet(highest_pkt, now, is_duplicate=True)
+
+        # ---- post-timeout phase: 18 rounds of window estimates --------------
+        for post_index in range(config.rounds_after_timeout):
+            if not blocks:
+                # The server went quiet. If it still has unacknowledged data
+                # its retransmission timer will eventually fire (e.g. the ACKs
+                # of a whole round were lost); otherwise it ran out of data
+                # and the trace cannot reach 18 post-timeout rounds.
+                deadline = sender.next_timer_deadline()
+                if deadline is not None and not sender.all_data_acked():
+                    now = max(now, deadline)
+                    blocks = sender.on_timer_native(now)
+            received = self._deliver_blocks(blocks, condition, rng)
+            if not blocks:
+                trace.invalid_reason = InvalidReason.INSUFFICIENT_DATA
+                return trace
+            if received:
+                for block in received:
+                    if block.end_seq > highest_end:
+                        highest_end = block.end_seq
+                    if block.stop_index > highest_pkt:
+                        highest_pkt = block.stop_index
+                window = self._window_estimate_blocks(received, highest_end,
+                                                      highest_prev)
+                highest_prev = highest_end
+            else:
+                window = 0.0
+            trace.post_timeout.append(window)
+            now += environment.rtt_after_timeout(post_index)
+            blocks, lost_acks = self._acknowledge_blocks(sender, received, condition,
+                                                         rng, now, highest_pkt)
+            trace.ack_loss_events += lost_acks
+        return trace
+
+    def _deliver_blocks(self, blocks: list[SegmentBlock], condition: NetworkCondition,
+                        rng: np.random.Generator) -> list[SegmentBlock]:
+        """Apply data-direction loss to blocks, splitting around lost packets.
+
+        One draw per covered packet in block order -- the same stream
+        consumption, in the same order, as the per-segment path -- then each
+        block is cut into its maximal surviving stretches.
+        """
+        if condition.loss_rate <= 0.0 or not blocks:
+            return list(blocks)
+        kept = rng.random(block_packet_count(blocks)) >= condition.loss_rate
+        if kept.all():
+            return list(blocks)
+        out: list[SegmentBlock] = []
+        offset = 0
+        for block in blocks:
+            count = len(block)
+            mask = kept[offset:offset + count]
+            offset += count
+            if mask.all():
+                out.append(block)
+                continue
+            for first, size in _surviving_stretches(mask):
+                out.append(block.slice(first, first + size))
+        return out
+
+    def _window_estimate_blocks(self, received: list[SegmentBlock],
+                                highest_end: int, highest_prev: int) -> float:
+        """:meth:`_window_estimate` on blocks (packet-count fallback intact)."""
+        by_sequence = (highest_end - highest_prev) / self.config.mss
+        if by_sequence <= 0:
+            return float(block_packet_count(received))
+        return float(by_sequence)
+
+    def _acknowledge_blocks(self, sender: TcpSender, received: list[SegmentBlock],
+                            condition: NetworkCondition, rng: np.random.Generator,
+                            now: float, highest_pkt: int) -> tuple[list[SegmentBlock], int]:
+        """Send the round's ACK ladder, built from block arithmetic.
+
+        The per-segment ladder (one cumulative ACK per received packet) is
+        compressed into unit-advance stretches and repeated-cumulative runs
+        in O(blocks), handed to the sender's
+        :meth:`~repro.tcp.connection.TcpSender.on_ack_ladder`; ACK-direction
+        loss draws stay one-per-entry on the same rng stream, fragmenting the
+        stretches around dropped ACKs.
+        """
+        if not received:
+            return [], 0
+        runs: list[tuple] = []
+        total = 0
+        cumulative = 0
+
+        def add_run(kind: str, value: int, count: int) -> None:
+            # Adjacent blocks produce adjacent ladder entries; coalescing
+            # them here is what lets one round's burst -- however many
+            # emission records it arrived as -- batch as a single clean run,
+            # exactly like the flat per-segment ladder did.
+            if runs:
+                last_kind, last_value, last_count = runs[-1]
+                if kind == last_kind and (
+                        (kind == "seq" and last_value + last_count == value)
+                        or (kind == "rep" and last_value == value)):
+                    runs[-1] = (kind, last_value, last_count + count)
+                    return
+            runs.append((kind, value, count))
+
+        for block in in_sequence_blocks(received):
+            count = len(block)
+            total += count
+            if block.is_retransmission:
+                # A retransmitted packet is acknowledged at the highest
+                # sequence received so far (the emulated-timeout rule).
+                value = cumulative if cumulative > highest_pkt else highest_pkt
+                add_run("rep", value, count)
+                cumulative = value
+                continue
+            start, stop = block.start_index, block.stop_index
+            if stop <= cumulative:
+                add_run("rep", cumulative, count)
+            elif start >= cumulative:
+                add_run("seq", start + 1, count)
+                cumulative = stop
+            else:
+                add_run("rep", cumulative, cumulative - start)
+                add_run("seq", cumulative + 1, stop - cumulative)
+                cumulative = stop
+        lost = 0
+        if condition.loss_rate > 0.0:
+            # One draw per ACK, exactly as the per-packet loop made them.
+            dropped = rng.random(total) < condition.loss_rate
+            lost = int(dropped.sum())
+            if lost:
+                runs = _filter_ack_runs(runs, dropped)
+        return sender.on_ack_ladder(runs, now), lost
+
+
+def _surviving_stretches(mask: np.ndarray) -> list[tuple[int, int]]:
+    """``(first_offset, length)`` of each maximal True stretch in ``mask``."""
+    survivors = np.flatnonzero(mask)
+    if survivors.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(survivors) > 1) + 1
+    return [(int(chunk[0]), int(chunk.size))
+            for chunk in np.split(survivors, breaks)]
+
+
+def _filter_ack_runs(runs: list[tuple], dropped: np.ndarray) -> list[tuple]:
+    """Drop per-entry ACK losses from a compressed ladder.
+
+    ``dropped`` has one draw per ladder entry in run order. Repeated runs
+    just shrink; unit-advance stretches fragment into their maximal
+    surviving sub-stretches (the sender treats the resulting jumps exactly
+    as it treats a ladder with holes).
+    """
+    kept_runs: list[tuple] = []
+    offset = 0
+    for kind, value, count in runs:
+        mask = dropped[offset:offset + count]
+        offset += count
+        hits = int(mask.sum())
+        if hits == 0:
+            kept_runs.append((kind, value, count))
+            continue
+        if kind == "rep":
+            if hits < count:
+                kept_runs.append((kind, value, count - hits))
+            continue
+        for first, size in _surviving_stretches(~mask):
+            kept_runs.append(("seq", value + first, size))
+    return kept_runs
 
 
 def probe_with_w_timeout_ladder(server: ProbeableServer, condition: NetworkCondition,

@@ -57,8 +57,8 @@ class _ServerEndpoint:
         self._shut_down = False
 
     def start(self) -> None:
-        segments = self.sender.start(self.simulator.now)
-        self._transmit(segments)
+        emitted = self.sender.start_native(self.simulator.now)
+        self._transmit(emitted)
         self._rearm_timer()
 
     def shutdown(self) -> None:
@@ -71,21 +71,24 @@ class _ServerEndpoint:
     def on_ack(self, ack_seq: int, is_duplicate: bool = False) -> None:
         if self._shut_down:
             return
-        segments = self.sender.on_ack(ack_seq, self.simulator.now,
-                                      is_duplicate=is_duplicate)
-        self._transmit(segments)
+        emitted = self.sender.on_ack_native(ack_seq, self.simulator.now,
+                                            is_duplicate=is_duplicate)
+        self._transmit(emitted)
         self._rearm_timer()
 
     def _on_timer(self) -> None:
         if self._shut_down:
             return
-        segments = self.sender.on_timer(self.simulator.now)
-        self._transmit(segments)
+        emitted = self.sender.on_timer_native(self.simulator.now)
+        self._transmit(emitted)
         self._rearm_timer()
 
-    def _transmit(self, segments: list[Segment]) -> None:
-        for segment in segments:
-            self.downlink.send(segment, self.prober.on_segment)
+    def _transmit(self, emitted: list) -> None:
+        # The sender hands over blocks (or legacy segments); the link's
+        # expansion adapter turns each record into per-packet deliveries, so
+        # the prober's receive side always sees individual Segments.
+        for item in emitted:
+            self.downlink.send_expanded(item, self.prober.on_segment)
 
     def _rearm_timer(self) -> None:
         if self._timer_handle is not None:

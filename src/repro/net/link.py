@@ -77,6 +77,23 @@ class NetemLink:
             self.stats.duplicated += 1
             self._schedule_delivery(payload, deliver)
 
+    def send_expanded(self, payload, deliver: Callable[[object], None]) -> None:
+        """Send ``payload``, expanding segment blocks into individual packets.
+
+        The netem model is strictly per-packet (each packet draws its own
+        loss, delay and duplication), so a :class:`SegmentBlock` emitted by a
+        block-native sender is expanded here -- one :class:`Segment` per
+        covered packet, in sequence order -- and anything else is forwarded
+        untouched. This keeps the discrete-event path semantically identical
+        to the historic per-packet emitter.
+        """
+        segments = getattr(payload, "segments", None)
+        if segments is None:
+            self.send(payload, deliver)
+            return
+        for segment in segments():
+            self.send(segment, deliver)
+
     def _schedule_delivery(self, payload, deliver: Callable[[object], None]) -> None:
         one_way = self._sample_delay()
         arrival = self.simulator.now + one_way

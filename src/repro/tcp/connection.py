@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState, MIN_CWND
-from repro.tcp.packet import Segment
+from repro.tcp.packet import Segment, SegmentBlock, expand_blocks
 from repro.tcp.rto import RtoEstimator
 from repro.tcp.slow_start import loop_slow_start_run, make_slow_start
 
@@ -30,6 +30,14 @@ from repro.tcp.slow_start import loop_slow_start_run, make_slow_start
 #: engine everywhere (the batched fast path is bit-identical, so this exists
 #: for debugging and for the parity tests, not for correctness).
 ACK_BATCH_ENV = "REPRO_ACK_BATCH"
+
+#: Environment knob: set ``REPRO_SEGMENT_BLOCKS=0`` to force the historic
+#: per-packet :class:`Segment` emitter. With the flag on (the default) the
+#: sender materialises one :class:`SegmentBlock` record per contiguous burst
+#: and keeps send times as spans, so emission is O(runs) instead of O(cwnd);
+#: the block path is bit-identical (the block/object parity matrix enforces
+#: it), so the knob exists for debugging and the parity tests.
+SEGMENT_BLOCKS_ENV = "REPRO_SEGMENT_BLOCKS"
 
 #: Runs shorter than this are processed by the scalar loop outright; the
 #: batch bookkeeping only pays for itself on longer runs.
@@ -39,6 +47,12 @@ _MIN_BATCH_RUN = 4
 def ack_batch_enabled() -> bool:
     """Whether the batched ACK fast path is enabled (read per sender)."""
     return os.environ.get(ACK_BATCH_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+def segment_blocks_enabled() -> bool:
+    """Whether senders natively emit segment blocks (read per sender)."""
+    return os.environ.get(SEGMENT_BLOCKS_ENV, "1").strip().lower() not in (
         "0", "false", "off", "no")
 
 
@@ -180,6 +194,21 @@ class TcpSender:
         self._had_timeout = False
         self._spurious_timeouts = 0
 
+        # ---- segment-block emission wiring -------------------------------
+        #: Whether transmissions are natively materialised as
+        #: :class:`SegmentBlock` records (legacy callers still receive
+        #: expanded :class:`Segment` objects from the non-``_native`` API).
+        self._blocks_native = segment_blocks_enabled()
+        #: Send-time bookkeeping for the block emitter: ordered, disjoint
+        #: ``[start, stop, sent_at]`` spans (the per-packet dict equivalent).
+        self._send_spans: list[list] = []
+        #: Number of :class:`Segment` objects this sender materialised
+        #: (diagnostics; the block engine's whole point is keeping this 0
+        #: on the round-level probe path).
+        self.segment_objects = 0
+        #: Number of :class:`SegmentBlock` records emitted (diagnostics).
+        self.block_records = 0
+
         # ---- batched ACK engine wiring ----------------------------------
         self._batch_enabled = ack_batch_enabled()
         #: Number of ACK runs the fast path processed (diagnostics/tests).
@@ -238,16 +267,33 @@ class TcpSender:
         """Return the absolute time of the pending RTO, if a timer is armed."""
         return self._timer_deadline
 
+    @property
+    def emits_blocks(self) -> bool:
+        """Whether the ``_native`` API returns :class:`SegmentBlock` records."""
+        return self._blocks_native
+
+    def _expand(self, emitted: list) -> list[Segment]:
+        """Adapt the native emission to the legacy per-packet Segment API."""
+        if not self._blocks_native or not emitted:
+            return emitted
+        segments = expand_blocks(emitted)
+        self.segment_objects += len(segments)
+        return segments
+
     # ----------------------------------------------------------------- start
     def start(self, now: float) -> list[Segment]:
         """Transmit the initial window once the first request has been read."""
+        return self._expand(self.start_native(now))
+
+    def start_native(self, now: float) -> list:
+        """:meth:`start`, returning the native emission (blocks or segments)."""
         if self._started:
             return []
         self._started = True
         self._round_start_time = now
-        segments = self._transmit_new_data(now)
+        emitted = self._transmit_new_data(now)
         self._round_end = self._snd_nxt
-        return segments
+        return emitted
 
     # ------------------------------------------------------------------ ACKs
     def on_ack(self, ack_seq: int, now: float, *, is_duplicate: bool = False) -> list[Segment]:
@@ -255,9 +301,26 @@ class TcpSender:
 
         Returns the segments the sender transmits in response.
         """
+        return self._expand(self.on_ack_native(ack_seq, now, is_duplicate=is_duplicate))
+
+    def on_ack_native(self, ack_seq: int, now: float, *, is_duplicate: bool = False) -> list:
+        """:meth:`on_ack`, returning the native emission (blocks or segments)."""
         ack_packets = ack_seq // self.config.mss
         if ack_seq >= self._total_bytes and self._total_bytes > 0:
             ack_packets = max(ack_packets, self.total_packets)
+        if is_duplicate or ack_packets <= self._snd_una:
+            return self._on_duplicate_ack(now)
+        return self._on_new_ack(ack_packets, now)
+
+    def on_ack_packet(self, ack_packets: int, now: float, *,
+                      is_duplicate: bool = False) -> list:
+        """Process a cumulative ACK expressed in packet units (native API).
+
+        ``ack_packets`` is the number of fully acknowledged MSS-grid packets,
+        i.e. the value ``on_ack`` derives from a byte sequence number; the
+        block-level gatherer works in packet units throughout, so this entry
+        point skips the byte conversion.
+        """
         if is_duplicate or ack_packets <= self._snd_una:
             return self._on_duplicate_ack(now)
         return self._on_new_ack(ack_packets, now)
@@ -275,19 +338,57 @@ class TcpSender:
         is bit-identical either way (the batch/scalar parity test matrix
         enforces this).
         """
-        out: list[Segment] = []
+        return self._expand(self.on_ack_run_native(ack_values, now))
+
+    def on_ack_run_native(self, ack_values: Sequence[int], now: float) -> list:
+        """:meth:`on_ack_run`, returning the native emission."""
+        out: list = []
         n = len(ack_values)
         index = 0
         while index < n:
             if n - index >= _MIN_BATCH_RUN and self._run_eligible():
-                consumed, segments = self._on_ack_run_fast(ack_values, index, now)
+                consumed, emitted = self._on_ack_run_fast(ack_values, index, now)
                 if consumed:
                     self.batch_runs += 1
-                    out.extend(segments)
+                    out.extend(emitted)
                     index += consumed
                     continue
-            out.extend(self.on_ack(ack_values[index], now))
+            out.extend(self.on_ack_native(ack_values[index], now))
             index += 1
+        return out
+
+    def on_ack_ladder(self, runs: Sequence[tuple], now: float) -> list:
+        """Process a round's ACK ladder expressed as compact packet runs.
+
+        ``runs`` is the ladder the gatherer would have materialised one value
+        at a time, compressed into ``("seq", first, count)`` unit-advance
+        stretches (packet-cumulative values ``first .. first + count - 1``)
+        and ``("rep", value, count)`` repeated-cumulative entries, in ladder
+        order. Behaviour is bit-identical to expanding the runs and feeding
+        them to :meth:`on_ack_run` / :meth:`on_ack`: clean stretches take the
+        batched fast path in O(1) bookkeeping per run (no per-ACK prefix
+        scan), everything else replays through the scalar engine.
+        """
+        out: list = []
+        for kind, value, count in runs:
+            if kind == "seq":
+                first = value
+                remaining = count
+                while remaining:
+                    if remaining >= _MIN_BATCH_RUN and self._run_eligible():
+                        consumed, emitted = self._fast_packet_run(first, remaining, now)
+                        if consumed:
+                            self.batch_runs += 1
+                            out.extend(emitted)
+                            first += consumed
+                            remaining -= consumed
+                            continue
+                    out.extend(self.on_ack_packet(first, now))
+                    first += 1
+                    remaining -= 1
+            else:
+                for _ in range(count):
+                    out.extend(self.on_ack_packet(value, now))
         return out
 
     # ------------------------------------------------------- batched fast path
@@ -348,27 +449,92 @@ class TcpSender:
         # from (the newest packet each ACK covers) was retransmitted, and all
         # were sent at the same time (one round's burst); truncate the prefix
         # at the first violation.
-        send_times = self._send_times
         retransmitted = self._retransmitted
-        t0 = send_times.get(positions[0] - 1)
         cut = k
-        if retransmitted:
+        if self._blocks_native:
+            t0, extent_stop = self._sent_extent(positions[0] - 1)
             for offset, position in enumerate(positions):
-                if (position - 1 in retransmitted
-                        or send_times.get(position - 1) != t0):
+                if position - 1 >= extent_stop:
                     cut = offset
                     break
+            if retransmitted:
+                for offset, position in enumerate(positions[:cut]):
+                    if position - 1 in retransmitted:
+                        cut = offset
+                        break
         else:
-            for offset, position in enumerate(positions):
-                if send_times.get(position - 1) != t0:
-                    cut = offset
-                    break
+            send_times = self._send_times
+            t0 = send_times.get(positions[0] - 1)
+            if retransmitted:
+                for offset, position in enumerate(positions):
+                    if (position - 1 in retransmitted
+                            or send_times.get(position - 1) != t0):
+                        cut = offset
+                        break
+            else:
+                for offset, position in enumerate(positions):
+                    if send_times.get(position - 1) != t0:
+                        cut = offset
+                        break
         if cut < k:
             if cut < _MIN_BATCH_RUN:
                 return 0, []
             k = cut
             del positions[k:]
-        last = positions[-1]
+        return k, self._consume_clean_run(positions, k, t0, now)
+
+    def _fast_packet_run(self, first: int, count: int,
+                         now: float) -> tuple[int, list]:
+        """Batched fast path for a unit-advance packet run, in O(1) screening.
+
+        ``first .. first + count - 1`` are consecutive packet-cumulative ACK
+        values (an arithmetic ladder stretch from :meth:`on_ack_ladder`).
+        Because the run is unit-advance by construction, the per-value prefix
+        scan of :meth:`_on_ack_run_fast` collapses to range arithmetic, and
+        the Karn/send-time screening is a single span lookup instead of one
+        dict probe per ACK. Returns ``(consumed, emitted)`` exactly like
+        :meth:`_on_ack_run_fast`.
+        """
+        u0 = self._snd_una
+        if first <= u0:
+            return 0, []
+        if first != u0 + 1 and not self._batch_decoupled:
+            return 0, []
+        k = count
+        room = self._round_end - first + 1
+        if k > room:
+            k = room
+        if k < _MIN_BATCH_RUN:
+            return 0, []
+        # Karn's rule screening: the packets sampled for RTTs are
+        # ``first - 1 .. first - 2 + k``; they must share one send time
+        # (one span) and contain no retransmission.
+        t0, extent_stop = self._sent_extent(first - 1)
+        extent = extent_stop - (first - 1)
+        if extent < k:
+            k = extent
+        retransmitted = self._retransmitted
+        if retransmitted:
+            lo, hi = first - 1, first - 1 + k
+            nearest = min((p for p in retransmitted if lo <= p < hi), default=None)
+            if nearest is not None:
+                k = nearest - lo
+        if k < _MIN_BATCH_RUN:
+            return 0, []
+        return k, self._consume_clean_run(range(first, first + k), k, t0, now)
+
+    def _consume_clean_run(self, positions, k: int, t0: float | None,
+                           now: float) -> list:
+        """Apply a validated clean ACK run and return the emission.
+
+        ``positions`` (an indexable sequence of ``k`` packet-cumulative
+        values; a list from the ladder scan or a ``range`` from the arithmetic
+        fast path) all sample RTTs from packets sent at ``t0``.
+        """
+        mss = self.config.mss
+        total_packets = self.total_packets
+        u0 = self._snd_una
+        last = positions[k - 1]
         if t0 is None:
             rtt = None
         elif self._last_timeout_time is not None and t0 < self._last_timeout_time:
@@ -436,7 +602,7 @@ class TcpSender:
             new_nxt = total_packets
         if new_nxt < snd_nxt0:
             new_nxt = snd_nxt0
-        segments = self._emit_segments(snd_nxt0, new_nxt, now)
+        emitted = self._emit_range(snd_nxt0, new_nxt, now)
         self._snd_nxt = new_nxt
         self._snd_una = last
         self._dupack_count = 0
@@ -447,7 +613,7 @@ class TcpSender:
             self._arm_timer(now)
         else:
             self._timer_deadline = None
-        return k, segments
+        return emitted
 
     def _grow_run(self, positions: list[int], begin: int, end: int,
                   ctx: AckContext, rtt: float | None, now: float,
@@ -579,12 +745,27 @@ class TcpSender:
                     cap_max = cap
         return cap_max
 
-    def _emit_segments(self, start: int, stop: int, now: float) -> list[Segment]:
-        """Build the run's new-data segments in one pass."""
+    # ------------------------------------------------------------- emission
+    def _emit_range(self, start: int, stop: int, now: float) -> list:
+        """Emit the new-data packets ``[start, stop)`` sent at ``now``.
+
+        The native block emitter materialises one :class:`SegmentBlock`
+        record and one send-time span in O(1); the legacy emitter builds one
+        :class:`Segment` object and one dict entry per packet.
+        """
         if stop <= start:
             return []
         mss = self.config.mss
         total_bytes = self._total_bytes
+        if self._blocks_native:
+            last_seq = (stop - 1) * mss
+            last_length = total_bytes - last_seq
+            if last_length > mss or last_length <= 0:
+                last_length = mss
+            self._record_span(start, stop, now)
+            self.block_records += 1
+            return [SegmentBlock(start_index=start, stop_index=stop, mss=mss,
+                                 sent_at=now, last_length=last_length)]
         send_times = self._send_times
         segments: list[Segment] = []
         append = segments.append
@@ -595,7 +776,76 @@ class TcpSender:
                 length = mss
             send_times[index] = now
             append(Segment(seq=seq, length=length, sent_at=now, packet_index=index))
+        self.segment_objects += stop - start
         return segments
+
+    # --------------------------------------------- send-time span bookkeeping
+    def _record_span(self, start: int, stop: int, now: float) -> None:
+        """Record the send time of new-data packets ``[start, stop)``.
+
+        New data is emitted at strictly increasing packet indices, so the
+        range either extends the newest span (same burst time) or opens a
+        new one; the span list stays ordered and disjoint.
+        """
+        spans = self._send_spans
+        if spans:
+            last = spans[-1]
+            if last[1] == start and last[2] == now:
+                last[1] = stop
+                return
+        spans.append([start, stop, now])
+
+    def _record_single(self, packet_index: int, now: float) -> None:
+        """Record the (re)send time of one packet, splitting its span.
+
+        Retransmissions overwrite the send time of a packet that sits inside
+        an existing span; the span is split around it so lookups keep exact
+        per-packet times. Retransmissions are rare (one per timeout or fast
+        retransmit), so the linear scan over the handful of live spans is
+        cheap.
+        """
+        spans = self._send_spans
+        for index, span in enumerate(spans):
+            start, stop, sent_at = span
+            if start <= packet_index < stop:
+                if sent_at == now:
+                    return
+                pieces = []
+                if start < packet_index:
+                    pieces.append([start, packet_index, sent_at])
+                pieces.append([packet_index, packet_index + 1, now])
+                if packet_index + 1 < stop:
+                    pieces.append([packet_index + 1, stop, sent_at])
+                spans[index:index + 1] = pieces
+                return
+            if start > packet_index:
+                spans.insert(index, [packet_index, packet_index + 1, now])
+                return
+        spans.append([packet_index, packet_index + 1, now])
+
+    def _sent_time(self, packet_index: int) -> float | None:
+        """Send time of ``packet_index`` (the ``_send_times`` dict equivalent)."""
+        for start, stop, sent_at in self._send_spans:
+            if packet_index < start:
+                return None
+            if packet_index < stop:
+                return sent_at
+        return None
+
+    def _sent_extent(self, packet_index: int) -> tuple[float | None, int]:
+        """``(sent_at, stop)`` of the span covering ``packet_index``.
+
+        ``stop`` is the first packet index past ``packet_index`` that does
+        *not* share its send time; when the packet has no recorded time the
+        extent is empty (``stop == packet_index + 1`` with a ``None`` time),
+        which sends the caller to the scalar engine.
+        """
+        for start, stop, sent_at in self._send_spans:
+            if packet_index < start:
+                break
+            if packet_index < stop:
+                return sent_at, stop
+        return None, packet_index + 1
 
     def _prune_acked(self, start: int, stop: int) -> None:
         """Drop send bookkeeping for packets now below ``snd_una``.
@@ -603,19 +853,29 @@ class TcpSender:
         RTT samples are only ever taken for the newest packet a cumulative
         ACK covers (always at or above the pre-ACK ``snd_una``), so entries
         below the advanced point can never be read again; pruning them keeps
-        ``_send_times`` and ``_retransmitted`` bounded by the in-flight count
-        instead of growing over the whole probe. Karn's rule is untouched:
-        the retransmission marker is only consulted before the advance.
+        the bookkeeping bounded by the in-flight count instead of growing
+        over the whole probe. Karn's rule is untouched: the retransmission
+        marker is only consulted before the advance. A run that did not
+        advance ``snd_una`` skips the pass entirely.
         """
-        send_times = self._send_times
-        for index in range(start, stop):
-            send_times.pop(index, None)
+        if stop <= start:
+            return
+        if self._blocks_native:
+            spans = self._send_spans
+            while spans and spans[0][1] <= stop:
+                spans.pop(0)
+            if spans and spans[0][0] < stop:
+                spans[0][0] = stop
+        else:
+            send_times = self._send_times
+            for index in range(start, stop):
+                send_times.pop(index, None)
         retransmitted = self._retransmitted
         if retransmitted:
-            for index in range(start, stop):
+            for index in [p for p in retransmitted if start <= p < stop]:
                 retransmitted.discard(index)
 
-    def _on_duplicate_ack(self, now: float) -> list[Segment]:
+    def _on_duplicate_ack(self, now: float) -> list:
         self._dupack_count += 1
         if self._frto_state:
             # A duplicate ACK after an RTO means the timeout was genuine
@@ -626,7 +886,7 @@ class TcpSender:
             return self._enter_fast_recovery(now)
         return []
 
-    def _enter_fast_recovery(self, now: float) -> list[Segment]:
+    def _enter_fast_recovery(self, now: float) -> list:
         self._in_recovery = True
         self._recovery_point = self._snd_nxt
         self.algorithm.on_loss_event(self.state, now)
@@ -635,7 +895,7 @@ class TcpSender:
         self._arm_timer(now)
         return segments
 
-    def _on_new_ack(self, ack_packets: int, now: float) -> list[Segment]:
+    def _on_new_ack(self, ack_packets: int, now: float) -> list:
         newly_acked = ack_packets - self._snd_una
         rtt_sample = self._rtt_sample_for(ack_packets - 1, now)
         self._register_rtt(rtt_sample, now)
@@ -644,7 +904,7 @@ class TcpSender:
         self._dupack_count = 0
         self._prune_acked(previous_una, ack_packets)
 
-        segments: list[Segment] = []
+        segments: list = []
         if self._in_recovery and self._snd_una >= self._recovery_point:
             self._in_recovery = False
 
@@ -668,7 +928,7 @@ class TcpSender:
             self._timer_deadline = None
         return segments
 
-    def _handle_frto(self, now: float) -> tuple[list[Segment], bool]:
+    def _handle_frto(self, now: float) -> tuple[list, bool]:
         """Advance the F-RTO state machine; returns (segments, suppress_growth)."""
         if not self._frto_state:
             return [], False
@@ -756,7 +1016,10 @@ class TcpSender:
         """
         if packet_index in self._retransmitted:
             return None
-        sent_at = self._send_times.get(packet_index)
+        if self._blocks_native:
+            sent_at = self._sent_time(packet_index)
+        else:
+            sent_at = self._send_times.get(packet_index)
         if sent_at is None:
             return None
         if self._last_timeout_time is not None and sent_at < self._last_timeout_time:
@@ -785,24 +1048,44 @@ class TcpSender:
             window = min(window, 1.0)
         return window
 
-    def _transmit_new_data(self, now: float, limit: int | None = None) -> list[Segment]:
-        segments: list[Segment] = []
-        budget = limit if limit is not None else math.inf
-        while (self._snd_nxt < self.total_packets
-               and self._snd_nxt - self._snd_una < int(self.effective_window())
-               and len(segments) < budget):
-            segments.append(self._build_segment(self._snd_nxt, now))
-            self._snd_nxt += 1
-        return segments
+    def _transmit_new_data(self, now: float, limit: int | None = None) -> list:
+        """Transmit everything the window allows, as one emission record.
+
+        Closed form of the historic one-``_build_segment``-per-iteration
+        loop: the window, the data bound and the optional budget are all
+        constant while it runs, so the stopping index is computed directly
+        and the stretch is emitted in a single :meth:`_emit_range` call.
+        """
+        start = self._snd_nxt
+        stop = self._snd_una + int(self.effective_window())
+        total = self.total_packets
+        if stop > total:
+            stop = total
+        if limit is not None and stop > start + limit:
+            stop = start + limit
+        if stop <= start:
+            return []
+        emitted = self._emit_range(start, stop, now)
+        self._snd_nxt = stop
+        return emitted
 
     def _build_segment(self, packet_index: int, now: float, *,
-                       retransmission: bool = False) -> Segment:
+                       retransmission: bool = False):
+        """Emit a single (usually retransmitted) packet in the native shape."""
         mss = self.config.mss
         seq = packet_index * mss
         length = min(mss, max(self._total_bytes - seq, 0)) or mss
-        self._send_times[packet_index] = now
         if retransmission:
             self._retransmitted.add(packet_index)
+        if self._blocks_native:
+            self._record_single(packet_index, now)
+            self.block_records += 1
+            return SegmentBlock(start_index=packet_index,
+                                stop_index=packet_index + 1, mss=mss,
+                                sent_at=now, last_length=length,
+                                is_retransmission=retransmission)
+        self._send_times[packet_index] = now
+        self.segment_objects += 1
         return Segment(seq=seq, length=length, sent_at=now,
                        packet_index=packet_index, is_retransmission=retransmission)
 
@@ -812,6 +1095,10 @@ class TcpSender:
 
     def on_timer(self, now: float) -> list[Segment]:
         """Fire the retransmission timer if it has expired."""
+        return self._expand(self.on_timer_native(now))
+
+    def on_timer_native(self, now: float) -> list:
+        """:meth:`on_timer`, returning the native emission."""
         if self._timer_deadline is None or now < self._timer_deadline:
             return []
         if not self.config.responds_to_timeout:
@@ -820,7 +1107,7 @@ class TcpSender:
             return []
         return self._retransmission_timeout(now)
 
-    def _retransmission_timeout(self, now: float) -> list[Segment]:
+    def _retransmission_timeout(self, now: float) -> list:
         cwnd_before = self.state.cwnd
         if self.config.use_frto:
             self._frto_saved = (self.state.cwnd, self.state.ssthresh)

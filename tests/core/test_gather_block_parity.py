@@ -1,0 +1,167 @@
+"""Block/object parity matrix for the trace gatherer.
+
+The segment-block engine must be an invisible optimisation, exactly like the
+batched ACK engine before it: every registry algorithm, in both emulated
+environments, across the pre- and post-timeout phases, and under loss, F-RTO
+and the server quirks, must produce bit-identical :class:`WindowTrace`s
+whether the probe pipeline runs on :class:`SegmentBlock` records or on the
+historic per-packet :class:`Segment` emitter (forced via
+``REPRO_SEGMENT_BLOCKS=0``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.environments import DEFAULT_ENVIRONMENTS
+from repro.core.gather import GatherConfig, TraceGatherer
+from repro.core.prober import packet_level_trace
+from repro.net.conditions import NetworkCondition
+from repro.tcp.connection import ACK_BATCH_ENV, SEGMENT_BLOCKS_ENV
+from repro.tcp.registry import ALL_ALGORITHM_NAMES
+from repro.web.population import PopulationConfig, ServerPopulation
+from tests.conftest import make_synthetic_server
+
+#: (label, gather kwargs, sender kwargs) for the scenario axis of the matrix.
+SCENARIOS = [
+    ("clean", dict(w_timeout=64), dict()),
+    ("lossy", dict(w_timeout=64,
+                   condition=NetworkCondition(average_rtt=0.2, rtt_std=0.0,
+                                              loss_rate=0.02)), dict()),
+    ("frto", dict(w_timeout=64), dict(use_frto=True)),
+    ("quirks", dict(w_timeout=64), dict(initial_ssthresh=40.0,
+                                        send_buffer_packets=90.0)),
+]
+
+
+def gather_pair(monkeypatch, algorithm, w_timeout=64, condition=None, seed=7,
+                frto=False, **sender_kwargs):
+    """Probe the same synthetic server with the block and object emitters."""
+    condition = condition or NetworkCondition.ideal()
+    probes = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(SEGMENT_BLOCKS_ENV, knob)
+        gatherer = TraceGatherer(GatherConfig(w_timeout=w_timeout, mss=100))
+        server = make_synthetic_server(algorithm, **sender_kwargs)
+        server.frto = frto
+        probes[knob] = gatherer.gather_probe(server, condition,
+                                             np.random.default_rng(seed))
+    return probes["1"], probes["0"]
+
+
+def assert_probes_identical(blocks, objects):
+    for trace_blocks, trace_objects in zip(blocks.traces(), objects.traces()):
+        assert trace_blocks.pre_timeout == trace_objects.pre_timeout
+        assert trace_blocks.post_timeout == trace_objects.post_timeout
+        assert trace_blocks.invalid_reason is trace_objects.invalid_reason
+        assert trace_blocks.ack_loss_events == trace_objects.ack_loss_events
+        assert trace_blocks == trace_objects
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHM_NAMES)
+@pytest.mark.parametrize("label,gather_kwargs,sender_kwargs",
+                         SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_parity_matrix(monkeypatch, algorithm, label, gather_kwargs,
+                       sender_kwargs):
+    blocks, objects = gather_pair(monkeypatch, algorithm,
+                                  frto=(label == "frto"),
+                                  **gather_kwargs, **sender_kwargs)
+    assert_probes_identical(blocks, objects)
+
+
+@pytest.mark.parametrize("algorithm",
+                         ["reno", "cubic-b", "westwood", "lp", "vegas", "yeah"])
+def test_parity_at_full_w_timeout(monkeypatch, algorithm):
+    """Spot-check the production w_timeout = 512 (long slow-start runs)."""
+    blocks, objects = gather_pair(monkeypatch, algorithm, w_timeout=512)
+    assert_probes_identical(blocks, objects)
+
+
+def test_parity_under_heavy_ack_loss(monkeypatch):
+    """Fragmented ladders (lost ACKs) split blocks and stretches identically."""
+    condition = NetworkCondition(average_rtt=0.5, rtt_std=0.0, loss_rate=0.08)
+    for algorithm in ("reno", "cubic-b", "illinois"):
+        blocks, objects = gather_pair(monkeypatch, algorithm, w_timeout=64,
+                                      condition=condition, seed=3)
+        assert_probes_identical(blocks, objects)
+
+
+def test_parity_against_fully_scalar_engine(monkeypatch):
+    """Blocks + batched ACKs vs the PR-1-era scalar object engine."""
+    results = {}
+    for blocks_knob, batch_knob in (("1", "1"), ("0", "0")):
+        monkeypatch.setenv(SEGMENT_BLOCKS_ENV, blocks_knob)
+        monkeypatch.setenv(ACK_BATCH_ENV, batch_knob)
+        gatherer = TraceGatherer(GatherConfig(w_timeout=128, mss=100))
+        results[blocks_knob] = gatherer.gather_probe(
+            make_synthetic_server("cubic-b"), NetworkCondition.ideal(),
+            np.random.default_rng(11))
+    assert_probes_identical(results["1"], results["0"])
+
+
+def test_block_probe_materialises_no_segments(monkeypatch):
+    """The round-level block pipeline never builds a Segment object."""
+    from repro.tcp.packet import Segment
+
+    created = 0
+    original = Segment.__post_init__
+
+    def counting(self):
+        nonlocal created
+        created += 1
+        original(self)
+
+    monkeypatch.setenv(SEGMENT_BLOCKS_ENV, "1")
+    monkeypatch.setattr(Segment, "__post_init__", counting)
+    gatherer = TraceGatherer(GatherConfig(w_timeout=64, mss=100))
+    probe = gatherer.gather_probe(make_synthetic_server("reno"),
+                                  NetworkCondition.ideal(),
+                                  np.random.default_rng(2))
+    assert probe.usable_for_features
+    assert created == 0
+
+
+def test_packet_level_prober_identical_across_emitters(monkeypatch):
+    """The discrete-event path expands blocks without changing a single event."""
+    traces = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(SEGMENT_BLOCKS_ENV, knob)
+        traces[knob] = [
+            packet_level_trace(algorithm, environment, w_timeout=64, seed=5)
+            for algorithm in ("reno", "cubic-b", "westwood")
+            for environment in DEFAULT_ENVIRONMENTS]
+    for trace_blocks, trace_objects in zip(traces["1"], traces["0"]):
+        assert trace_blocks == trace_objects
+
+
+def test_census_report_identical_across_emitters(monkeypatch, trained_classifier):
+    """End to end: a small census produces the same report either way."""
+    reports = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(SEGMENT_BLOCKS_ENV, knob)
+        population = ServerPopulation(PopulationConfig(size=12, seed=99))
+        population.generate()
+        runner = CensusRunner(trained_classifier,
+                              CensusConfig(seed=5, backend="serial"))
+        reports[knob] = runner.run(population)
+    blocks, objects = reports["1"], reports["0"]
+    assert len(blocks) == len(objects)
+    assert blocks.outcomes == objects.outcomes
+
+
+def test_training_examples_identical_across_emitters(monkeypatch):
+    """The training-set builder is bit-identical across emitters."""
+    from repro.core.training import TrainingSetBuilder
+    from repro.net.conditions import default_condition_database
+
+    vectors = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(SEGMENT_BLOCKS_ENV, knob)
+        builder = TrainingSetBuilder(
+            conditions_per_pair=2, seed=13, w_timeouts=(64,),
+            algorithms=("reno", "cubic-b", "vegas", "westwood"),
+            condition_database=default_condition_database(size=200, seed=8))
+        examples = builder.build_examples()
+        vectors[knob] = [(e.algorithm, e.w_timeout, tuple(e.vector.as_array()))
+                        for e in examples]
+    assert vectors["1"] == vectors["0"]

@@ -85,3 +85,85 @@ class TestBackoff:
         estimator.back_off()
         estimator.observe(1.0)
         assert estimator.backoff_exponent == 0
+
+
+class TestObserveRunEdgeCases:
+    """Edge cases of the batched estimator feed (``observe_run``).
+
+    The contract is bitwise equivalence with calling :meth:`observe` once per
+    sample: the batched ACK engine relies on it when it registers a round's
+    identical RTT samples in one call.
+    """
+
+    @staticmethod
+    def assert_bitwise_equal(run, loop):
+        assert run.srtt == loop.srtt
+        assert run.rttvar == loop.rttvar
+        assert run.backoff_exponent == loop.backoff_exponent
+        assert run.current_rto() == loop.current_rto()
+
+    @pytest.mark.parametrize("count", [0, -3])
+    def test_empty_run_is_a_noop(self, count):
+        fresh = RtoEstimator()
+        fresh.observe_run(1.0, count)
+        assert fresh.srtt is None and fresh.rttvar is None
+
+        seeded = RtoEstimator()
+        seeded.observe(0.7)
+        seeded.back_off()
+        srtt, rttvar = seeded.srtt, seeded.rttvar
+        seeded.observe_run(1.0, count)
+        # Zero samples observed: the smoothed state *and* the pending
+        # backoff must survive, exactly as with zero ``observe`` calls.
+        assert (seeded.srtt, seeded.rttvar) == (srtt, rttvar)
+        assert seeded.backoff_exponent == 1
+
+    def test_single_sample_first_ever(self):
+        run, loop = RtoEstimator(), RtoEstimator()
+        run.observe_run(0.9, 1)
+        loop.observe(0.9)
+        self.assert_bitwise_equal(run, loop)
+
+    def test_single_sample_on_seeded_estimator(self):
+        run, loop = RtoEstimator(), RtoEstimator()
+        for estimator in (run, loop):
+            estimator.observe(0.4)
+            estimator.observe(0.6)
+        run.observe_run(1.1, 1)
+        loop.observe(1.1)
+        self.assert_bitwise_equal(run, loop)
+
+    def test_single_sample_resets_backoff(self):
+        run = RtoEstimator()
+        run.observe(1.0)
+        run.back_off()
+        run.observe_run(1.0, 1)
+        assert run.backoff_exponent == 0
+
+    def test_karn_excluded_samples_split_the_run(self):
+        # A round of ten equally-timed ACKs where packets 3-4 were
+        # retransmitted: Karn's rule drops their samples, so the sender
+        # feeds the estimator two sub-runs (3 samples, then 5). That must
+        # be bitwise identical to the scalar engine's observe/skip walk.
+        sample = 0.85
+        excluded = {3, 4}
+        run, loop = RtoEstimator(), RtoEstimator()
+        for estimator in (run, loop):
+            estimator.observe(0.7)  # pre-round state
+        for index in range(10):
+            if index not in excluded:
+                loop.observe(sample)
+        run.observe_run(sample, 3)
+        run.observe_run(sample, 10 - 3 - len(excluded))
+        self.assert_bitwise_equal(run, loop)
+
+    def test_karn_exclusion_at_run_edges(self):
+        # Exclusions at the head and tail leave a single interior sub-run.
+        sample = 1.2
+        run, loop = RtoEstimator(), RtoEstimator()
+        for index in range(8):
+            if index in (0, 7):
+                continue  # Karn-excluded
+            loop.observe(sample)
+        run.observe_run(sample, 6)
+        self.assert_bitwise_equal(run, loop)
