@@ -1,0 +1,100 @@
+"""CI check: an interrupted CLI census resumes to a bit-identical report.
+
+Drives the real ``python -m repro.census`` command line end to end:
+
+1. runs a sharded census but kills it after the first shard
+   (``--stop-after-shards 1`` — the checkpoint looks exactly like one left
+   behind by a SIGKILL between shards);
+2. resumes it in a **separate process** on the multiprocessing backend;
+3. merges the checkpoint in a third process;
+4. compares the merged JSON report against an uninterrupted monolithic
+   :meth:`CensusRunner.run` executed in-process with the same settings.
+
+Any byte of difference fails the build::
+
+    PYTHONPATH=src python benchmarks/check_census_resume.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli.census import _build_population, _build_runner
+
+SETTINGS = {
+    "servers": 24,
+    "shards": 3,
+    "seed": 17,
+    "population_seed": 424,
+    "conditions": "paper",
+    "condition_db_size": 200,
+    "condition_seed": 9,
+    "training_conditions": 2,
+    "training_seed": 31,
+    "trees": 20,
+    "forest_seed": 5,
+}
+
+
+def run_cli(arguments: list[str], expect_exit: int) -> None:
+    command = [sys.executable, "-m", "repro.census", *arguments]
+    print(f"$ {' '.join(command)}", flush=True)
+    environment = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    environment["PYTHONPATH"] = src + os.pathsep + environment.get("PYTHONPATH", "")
+    result = subprocess.run(command, env=environment)
+    if result.returncode != expect_exit:
+        raise SystemExit(f"FAIL: {' '.join(arguments)} exited "
+                         f"{result.returncode}, expected {expect_exit}")
+
+
+def main() -> None:
+    print("computing the uninterrupted monolithic reference report ...",
+          flush=True)
+    runner = _build_runner(SETTINGS, backend="serial", workers=None)
+    reference = runner.run(_build_population(SETTINGS))
+    reference_outcomes = [outcome.to_json_dict()
+                          for outcome in reference.outcomes]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        checkpoint = str(Path(scratch) / "ckpt")
+        report_path = str(Path(scratch) / "report.json")
+        run_cli(["run", "--checkpoint", checkpoint,
+                 "--servers", str(SETTINGS["servers"]),
+                 "--shards", str(SETTINGS["shards"]),
+                 "--seed", str(SETTINGS["seed"]),
+                 "--population-seed", str(SETTINGS["population_seed"]),
+                 "--conditions", SETTINGS["conditions"],
+                 "--condition-db-size", str(SETTINGS["condition_db_size"]),
+                 "--condition-seed", str(SETTINGS["condition_seed"]),
+                 "--training-conditions", str(SETTINGS["training_conditions"]),
+                 "--training-seed", str(SETTINGS["training_seed"]),
+                 "--trees", str(SETTINGS["trees"]),
+                 "--forest-seed", str(SETTINGS["forest_seed"]),
+                 "--stop-after-shards", "1"],
+                expect_exit=1)  # interrupted: shards still pending
+        run_cli(["status", "--checkpoint", checkpoint], expect_exit=0)
+        run_cli(["resume", "--checkpoint", checkpoint,
+                 "--backend", "process", "--workers", "2"], expect_exit=0)
+        run_cli(["merge", "--checkpoint", checkpoint, "--json", report_path],
+                expect_exit=0)
+        merged = json.loads(Path(report_path).read_text())
+
+    if merged["outcomes"] != reference_outcomes:
+        differing = [i for i, (a, b) in enumerate(
+            zip(merged["outcomes"], reference_outcomes)) if a != b]
+        raise SystemExit(
+            f"FAIL: resumed census differs from the monolithic run at "
+            f"outcome indices {differing[:10]} "
+            f"(counts: {len(merged['outcomes'])} vs {len(reference_outcomes)})")
+    print(f"OK: interrupted + resumed census of {len(reference_outcomes)} "
+          "servers is bit-identical to the monolithic run")
+
+
+if __name__ == "__main__":
+    main()

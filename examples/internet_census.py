@@ -6,7 +6,13 @@ with CAAI, and prints the Table IV style deployment report -- including how
 the identified mix compares with the ground truth, which only a simulation
 can know.
 
-Run with:  python examples/internet_census.py [number_of_servers]
+Run with:  python examples/internet_census.py [number_of_servers] [checkpoint_dir]
+
+With a ``checkpoint_dir`` the census runs **sharded and checkpointed**
+(4 shards): interrupt it at any point and re-run the same command -- it
+resumes from the checkpoint and the merged report is bit-identical to the
+uninterrupted run. The ``python -m repro.census`` CLI wraps the same
+machinery with run/resume/status/merge subcommands (see docs/CENSUS.md).
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.core.training import TrainingSetBuilder
 from repro.web.population import PopulationConfig, ServerPopulation
 
 
-def main(size: int = 200) -> None:
+def main(size: int = 200, checkpoint_dir: str | None = None) -> None:
     print("Training the CAAI classifier...")
     training = TrainingSetBuilder(conditions_per_pair=5, seed=3).build_dataset()
     classifier = CaaiClassifier(n_trees=60, seed=4).train(training)
@@ -29,8 +35,21 @@ def main(size: int = 200) -> None:
     population = ServerPopulation(PopulationConfig(size=size, seed=2011))
     population.generate()
 
-    print("Running the census (crawl, MSS negotiation, probing, classification)...")
-    report = CensusRunner(classifier, CensusConfig(seed=1)).run(population)
+    runner = CensusRunner(classifier, CensusConfig(seed=1))
+    if checkpoint_dir is None:
+        print("Running the census (crawl, MSS negotiation, probing, classification)...")
+        report = runner.run(population)
+    else:
+        import os
+
+        from repro.core.checkpoint import MANIFEST_NAME
+        if os.path.exists(os.path.join(checkpoint_dir, MANIFEST_NAME)):
+            print(f"Resuming the checkpointed census in {checkpoint_dir}...")
+            report = runner.resume(population, checkpoint_dir)
+        else:
+            print(f"Running a 4-shard checkpointed census into {checkpoint_dir}...")
+            report = runner.run_sharded(population, checkpoint_dir, num_shards=4)
+        assert report is not None
 
     print(f"\nServers probed: {len(report)}")
     print(f"Valid traces:   {len(report.valid_outcomes)} "
@@ -58,4 +77,5 @@ def main(size: int = 200) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200,
+         sys.argv[2] if len(sys.argv) > 2 else None)

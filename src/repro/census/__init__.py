@@ -1,0 +1,10 @@
+"""``python -m repro.census`` — the checkpointed census command line.
+
+This package only hosts the module entry point; the implementation lives in
+:mod:`repro.cli.census` and the census engine itself in
+:mod:`repro.core.census` / :mod:`repro.core.checkpoint`.
+"""
+
+from repro.cli.census import main
+
+__all__ = ["main"]

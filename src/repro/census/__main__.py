@@ -1,0 +1,8 @@
+"""Entry point of ``python -m repro.census``."""
+
+import sys
+
+from repro.cli.census import main
+
+if __name__ == "__main__":
+    sys.exit(main())

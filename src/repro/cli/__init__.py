@@ -1,0 +1,5 @@
+"""Command-line entry points.
+
+Each submodule implements one console tool; :mod:`repro.cli.census` backs
+``python -m repro.census`` (sharded, checkpointed census runs).
+"""

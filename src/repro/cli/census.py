@@ -1,0 +1,298 @@
+"""The checkpointed census command line (``python -m repro.census``).
+
+Four subcommands manage a census checkpoint directory:
+
+* ``run``    — train a classifier, generate a synthetic population, and run
+  a sharded census into a fresh checkpoint. ``--stop-after-shards`` bounds
+  how many shards one invocation completes (spread a census over several
+  invocations, or simulate an interruption); a killed run leaves a
+  resumable checkpoint either way.
+* ``resume`` — rebuild population and classifier from the manifest's stored
+  settings (bit-identical: everything is seeded) and run the remaining
+  shards. Refuses to continue if the configuration fingerprint differs.
+* ``status`` — print the manifest's progress summary.
+* ``merge``  — merge the completed shards into a Table IV style report
+  without re-probing anything (no classifier needed).
+
+The walkthrough in ``docs/CENSUS.md`` shows a full
+run → interrupt → resume → merge session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.checkpoint import CensusCheckpoint, CheckpointError
+from repro.core.classifier import CaaiClassifier
+from repro.core.results import CensusReport
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import CONDITION_DB_PRESETS, condition_database_preset
+from repro.parallel import BACKENDS
+from repro.web.population import PopulationConfig, ServerPopulation
+
+PROG = "python -m repro.census"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to one subcommand.
+
+    Args:
+        argv: Argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code: 0 on success, 1 when a run stopped with shards
+        still pending (resume later), 2 on a checkpoint/usage error.
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (CheckpointError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------- commands
+def _cmd_run(args: argparse.Namespace) -> int:
+    """``run``: create a checkpoint and execute shards until done/stopped."""
+    # Fail on a reused checkpoint directory (or bad shard count) *before*
+    # spending minutes training the classifier.
+    CensusCheckpoint.ensure_absent(args.checkpoint)
+    if args.shards < 1:
+        raise ValueError("--shards must be at least 1")
+    settings = {
+        "servers": args.servers,
+        "shards": args.shards,
+        "seed": args.seed,
+        "population_seed": args.population_seed,
+        "conditions": args.conditions,
+        "condition_db_size": args.condition_db_size,
+        "condition_seed": args.condition_seed,
+        "training_conditions": args.training_conditions,
+        "training_seed": args.training_seed,
+        "trees": args.trees,
+        "forest_seed": args.forest_seed,
+    }
+    runner = _build_runner(settings, backend=args.backend, workers=args.workers)
+    population = _build_population(settings)
+    print(f"running census of {args.servers} servers over {args.shards} shards "
+          f"into {args.checkpoint} ...", flush=True)
+    report = runner.run_sharded(population, args.checkpoint,
+                                num_shards=args.shards,
+                                stop_after_shards=args.stop_after_shards,
+                                settings=settings)
+    return _finish(report, args.checkpoint, getattr(args, "json", None))
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """``resume``: rebuild from the manifest and run the remaining shards."""
+    checkpoint = CensusCheckpoint.open(args.checkpoint)
+    settings = checkpoint.settings
+    if not settings:
+        raise CheckpointError(
+            f"checkpoint {args.checkpoint} stores no settings; it was not "
+            "created by this CLI — resume it through "
+            "CensusRunner.resume() with the original configuration instead")
+    pending = checkpoint.pending_shards()
+    if not pending:
+        print("all shards already complete; merging ...")
+        return _finish(CensusRunner.merge_checkpoint(args.checkpoint),
+                       args.checkpoint, getattr(args, "json", None))
+    print(f"resuming {args.checkpoint}: shards {pending} pending "
+          f"(rebuilding classifier and population from stored settings) ...",
+          flush=True)
+    runner = _build_runner(settings, backend=args.backend, workers=args.workers)
+    population = _build_population(settings)
+    report = runner.resume(population, args.checkpoint,
+                           stop_after_shards=args.stop_after_shards)
+    return _finish(report, args.checkpoint, getattr(args, "json", None))
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``status``: print the checkpoint's progress summary."""
+    status = CensusRunner.checkpoint_status(args.checkpoint)
+    done = len(status["completed_shards"])
+    print(f"checkpoint:  {status['directory']}")
+    print(f"seed:        {status['seed']}")
+    print(f"population:  {status['population_size']} servers")
+    print(f"shards:      {done}/{status['num_shards']} complete")
+    if status["pending_shards"]:
+        print(f"pending:     {status['pending_shards']}")
+    print(f"fingerprint: {status['fingerprint'][:16]}...")
+    print("state:       " + ("complete — ready to merge" if status["complete"]
+                             else "incomplete — resume to continue"))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """``merge``: aggregate completed shards into the Table IV report."""
+    report = CensusRunner.merge_checkpoint(args.checkpoint)
+    _print_report(report)
+    if args.json:
+        _write_json(report, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+# ------------------------------------------------------------------ helpers
+def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRunner:
+    """Train the classifier and assemble a :class:`CensusRunner`.
+
+    Everything that affects report content comes from ``settings`` (stored
+    in the manifest); ``backend``/``workers`` are per-invocation execution
+    knobs that never change the results.
+    """
+    conditions = condition_database_preset(settings["conditions"],
+                                           size=settings["condition_db_size"],
+                                           seed=settings["condition_seed"])
+    print(f"training classifier ({settings['trees']} trees, "
+          f"{settings['training_conditions']} conditions/pair, "
+          f"'{settings['conditions']}' paths) ...", flush=True)
+    builder = TrainingSetBuilder(
+        conditions_per_pair=settings["training_conditions"],
+        seed=settings["training_seed"], condition_database=conditions)
+    classifier = CaaiClassifier(n_trees=settings["trees"],
+                                seed=settings["forest_seed"])
+    classifier.train(builder.build_dataset())
+    config = CensusConfig(seed=settings["seed"], backend=backend,
+                          max_workers=workers)
+    return CensusRunner(classifier, config)
+
+
+def _build_population(settings: dict) -> ServerPopulation:
+    """Generate the synthetic population described by ``settings``."""
+    conditions = condition_database_preset(settings["conditions"],
+                                           size=settings["condition_db_size"],
+                                           seed=settings["condition_seed"])
+    population = ServerPopulation(
+        PopulationConfig(size=settings["servers"],
+                         seed=settings["population_seed"]),
+        condition_database=conditions)
+    population.generate()
+    return population
+
+
+def _finish(report: CensusReport | None, checkpoint_dir: str,
+            json_path: str | None) -> int:
+    """Print the report (or the resume hint) after run/resume."""
+    if report is None:
+        status = CensusRunner.checkpoint_status(checkpoint_dir)
+        done = len(status["completed_shards"])
+        print(f"\nstopped with {done}/{status['num_shards']} shards complete; "
+              f"continue with:\n  {PROG} resume --checkpoint {checkpoint_dir}")
+        return 1
+    _print_report(report)
+    if json_path:
+        _write_json(report, json_path)
+        print(f"\nwrote {json_path}")
+    return 0
+
+
+def _print_report(report: CensusReport) -> None:
+    """Print the Table IV style summary of a merged report."""
+    print(f"\nServers probed: {len(report)}")
+    print(f"Valid traces:   {len(report.valid_outcomes)} "
+          f"({100 * report.valid_fraction():.1f}%)")
+    rows = [[label, f"{overall:.2f}"]
+            for label, _, overall in report.table_rows()]
+    print(format_table(["Category", "% of valid servers"], rows,
+                       title="Identified TCP algorithm mix (Table IV structure)"))
+    low, high = report.reno_share_bounds()
+    print(f"\nRENO share bounds: {low:.1f}% .. {high:.1f}%")
+    print(f"BIC/CUBIC share:   {report.bic_cubic_share():.1f}%")
+    print(f"CTCP share:        {report.ctcp_share():.1f}%")
+
+
+def _write_json(report: CensusReport, path: str) -> None:
+    """Dump the full report (outcomes + summaries) as JSON."""
+    payload = {
+        "servers": len(report),
+        "valid_fraction": report.valid_fraction(),
+        "category_percentages": report.category_percentages(),
+        "invalid_reason_shares": report.invalid_reason_shares(),
+        "outcomes": [outcome.to_json_dict() for outcome in report.outcomes],
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Construct the four-subcommand argument parser."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Sharded, checkpointed Internet census (Table IV) with "
+                    "interrupt/resume support.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="start a fresh sharded census into a checkpoint directory")
+    _add_checkpoint_argument(run)
+    run.add_argument("--servers", type=int, default=100,
+                     help="population size (default: 100)")
+    run.add_argument("--shards", type=int, default=4,
+                     help="number of shards (default: 4)")
+    run.add_argument("--seed", type=int, default=42,
+                     help="census seed; also keys the shard assignment")
+    run.add_argument("--population-seed", type=int, default=2011,
+                     help="seed of the synthetic server population")
+    run.add_argument("--conditions", default="paper",
+                     choices=sorted(CONDITION_DB_PRESETS),
+                     help="network-condition preset for paths and training "
+                          "(default: paper)")
+    run.add_argument("--condition-db-size", type=int, default=1000,
+                     help="paths in the condition database (default: 1000)")
+    run.add_argument("--condition-seed", type=int, default=2010,
+                     help="seed of the condition database draws")
+    run.add_argument("--training-conditions", type=int, default=4,
+                     help="training conditions per (algorithm, w_timeout) "
+                          "pair (default: 4; the paper uses 100)")
+    run.add_argument("--training-seed", type=int, default=7,
+                     help="seed of the training-set builder")
+    run.add_argument("--trees", type=int, default=60,
+                     help="random-forest size (default: 60)")
+    run.add_argument("--forest-seed", type=int, default=0,
+                     help="seed of the random forest")
+    _add_execution_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted census from its checkpoint")
+    _add_checkpoint_argument(resume)
+    _add_execution_arguments(resume)
+    resume.set_defaults(handler=_cmd_resume)
+
+    status = commands.add_parser(
+        "status", help="show shard progress of a checkpoint")
+    _add_checkpoint_argument(status)
+    status.set_defaults(handler=_cmd_status)
+
+    merge = commands.add_parser(
+        "merge", help="merge a completed checkpoint into the Table IV report")
+    _add_checkpoint_argument(merge)
+    merge.add_argument("--json", default=None,
+                       help="also write the full report as JSON to this path")
+    merge.set_defaults(handler=_cmd_merge)
+    return parser
+
+
+def _add_checkpoint_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", required=True,
+                        help="checkpoint directory (manifest + shard files)")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="serial", choices=BACKENDS,
+                        help="probe-phase execution backend (default: serial; "
+                             "results are bit-identical either way)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the process backend")
+    parser.add_argument("--stop-after-shards", type=int, default=None,
+                        help="stop after completing this many shards in this "
+                             "invocation (checkpoint stays resumable)")
+    parser.add_argument("--json", default=None,
+                        help="when the census completes, also write the full "
+                             "report as JSON to this path")

@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CensusCheckpoint,
+    census_fingerprint,
+    classifier_fingerprint,
+    shard_assignments,
+)
 from repro.core.classifier import CaaiClassifier
 from repro.core.gather import negotiate_probe_mss, probe_with_w_timeout_ladder
 from repro.core.labels import UNSURE
@@ -115,6 +121,13 @@ def probe_server(record: ServerRecord, crawler: PageSearchTool,
     return outcome, probe
 
 
+def _validate_stop_after(stop_after_shards: int | None) -> None:
+    """Reject stop-after budgets that would silently still run a shard."""
+    if stop_after_shards is not None and stop_after_shards < 1:
+        raise ValueError("stop_after_shards must be at least 1 (omit it to "
+                         "run every pending shard)")
+
+
 def _invalid_reason(probe: ProbeTrace, profile) -> InvalidReason:
     reason = probe.invalid_reason or InvalidReason.INSUFFICIENT_DATA
     if reason is InvalidReason.INSUFFICIENT_DATA and profile.max_pipelined_requests <= 3:
@@ -161,32 +174,197 @@ class CensusRunner:
 
         Every server draws from its own seed-derived random stream, so the
         report is identical for the serial and multiprocessing backends.
+
+        Args:
+            population: The server population (generated on demand).
+
+        Returns:
+            The aggregated :class:`CensusReport`, in population order.
         """
-        if not population.records:
-            population.generate()
-        records = population.records
-        executor = self.executor or ParallelExecutor(
-            backend=self.config.backend, max_workers=self.config.max_workers)
-        tasks = list(zip(records, task_seeds(self.config.seed, len(records))))
-        partials = executor.map(_probe_task, tasks,
-                                initializer=_init_probe_worker,
-                                initargs=(self.config,))
-        pending = [(outcome, probe) for outcome, probe in partials if probe is not None]
-        self._classify_pending(pending)
+        records = self._records(population)
+        outcomes = self._measure_indices(records, list(range(len(records))))
         report = CensusReport()
-        for outcome, _ in partials:
+        for outcome in outcomes:
             report.add(outcome)
         return report
 
+    def run_sharded(self, population: ServerPopulation,
+                    checkpoint_dir, *, num_shards: int = 8,
+                    stop_after_shards: int | None = None,
+                    settings: dict | None = None) -> CensusReport | None:
+        """Start a checkpointed census split over ``num_shards`` shards.
+
+        Every server is assigned to a shard by a stable hash of its id and
+        the census seed (:func:`repro.core.checkpoint.shard_of`); each shard
+        is probed and classified like a miniature census and persisted as an
+        append-only JSONL file before the manifest marks it complete. The
+        run can be interrupted at any point (between or inside shards) and
+        picked up with :meth:`resume`.
+
+        Args:
+            population: The server population (generated on demand).
+            checkpoint_dir: Directory for the manifest and shard files; must
+                not already contain a checkpoint.
+            num_shards: How many shards to split the census into.
+            stop_after_shards: Stop (returning ``None``) after completing
+                this many shards in this invocation — lets callers spread
+                one census over several invocations or simulate a kill.
+            settings: Free-form dict stored in the manifest (the CLI keeps
+                everything needed to rebuild population + classifier here).
+
+        Returns:
+            The merged :class:`CensusReport` if every shard completed in
+            this invocation, else ``None`` (resume later).
+        """
+        _validate_stop_after(stop_after_shards)
+        records = self._records(population)
+        checkpoint = CensusCheckpoint.create(
+            checkpoint_dir, seed=self.config.seed, num_shards=num_shards,
+            fingerprint=self._fingerprint(population),
+            population_size=len(records), settings=settings)
+        return self._run_pending_shards(checkpoint, population,
+                                        stop_after_shards)
+
+    def resume(self, population: ServerPopulation,
+               checkpoint_dir, *,
+               stop_after_shards: int | None = None) -> CensusReport | None:
+        """Continue an interrupted sharded census from its checkpoint.
+
+        Completed shards are skipped (their outcomes are reloaded from disk
+        at merge time); pending shards are re-run from scratch. Because each
+        server's random stream is derived only from the census seed and the
+        server's population position, the merged report is bit-identical to
+        an uninterrupted monolithic :meth:`run` — regardless of shard count,
+        interruption point, or backend.
+
+        Args:
+            population: The same population the checkpoint was created with.
+            checkpoint_dir: Directory of the existing checkpoint.
+            stop_after_shards: As for :meth:`run_sharded`.
+
+        Returns:
+            The merged :class:`CensusReport` once every shard is complete,
+            else ``None``.
+
+        Raises:
+            repro.core.checkpoint.CheckpointError: If the checkpoint is
+                missing, corrupt, or was created with a different
+                census/population/classifier configuration.
+        """
+        _validate_stop_after(stop_after_shards)
+        checkpoint = CensusCheckpoint.open(checkpoint_dir)
+        checkpoint.verify_fingerprint(self._fingerprint(population))
+        return self._run_pending_shards(checkpoint, population,
+                                        stop_after_shards)
+
+    @staticmethod
+    def checkpoint_status(checkpoint_dir) -> dict:
+        """Progress summary of a checkpoint directory (see CLI ``status``).
+
+        Args:
+            checkpoint_dir: Directory of an existing checkpoint.
+
+        Returns:
+            The checkpoint's :meth:`~repro.core.checkpoint.CensusCheckpoint.status`
+            dict (seed, completed/pending shards, settings).
+        """
+        return CensusCheckpoint.open(checkpoint_dir).status()
+
+    @staticmethod
+    def merge_checkpoint(checkpoint_dir) -> CensusReport:
+        """Merge a fully completed checkpoint into a :class:`CensusReport`.
+
+        Needs no classifier or population: the shard files already carry the
+        classified outcomes. Outcomes are ordered by population index, so
+        the merged report is bit-identical to the monolithic run.
+
+        Args:
+            checkpoint_dir: Directory of a checkpoint with no pending shards.
+
+        Returns:
+            The merged report.
+
+        Raises:
+            repro.core.checkpoint.CheckpointError: If shards are pending or
+                any shard file fails validation.
+        """
+        return CensusCheckpoint.open(checkpoint_dir).merge_report()
+
     def measure_server(self, record: ServerRecord, crawler: PageSearchTool,
                        rng: np.random.Generator) -> ServerOutcome:
-        """Measure a single server: crawl, probe, categorise."""
+        """Measure a single server: crawl, probe, categorise.
+
+        Args:
+            record: The server and its emulated network condition.
+            crawler: The page-searching tool to find a long page with.
+            rng: The server's dedicated random stream.
+
+        Returns:
+            The fully categorised :class:`ServerOutcome`.
+        """
         outcome, probe = probe_server(record, crawler, self.config, rng)
         if probe is not None:
             self._classify_pending([(outcome, probe)])
         return outcome
 
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _records(population: ServerPopulation) -> list[ServerRecord]:
+        """The population's records, generating them on first use."""
+        if not population.records:
+            population.generate()
+        return population.records
+
+    def _fingerprint(self, population: ServerPopulation) -> str:
+        """Config fingerprint binding checkpoints to this exact run."""
+        return census_fingerprint(
+            self.config, population,
+            classifier_fingerprint=classifier_fingerprint(self.classifier))
+
+    def _measure_indices(self, records: list[ServerRecord],
+                         indices: list[int],
+                         seeds: list | None = None) -> list[ServerOutcome]:
+        """Probe and classify the records at ``indices``, in that order.
+
+        Seeds are derived from the census seed and each record's position in
+        the **full** population, so measuring any subset yields outcomes
+        bit-identical to the same servers inside a monolithic run. Callers
+        measuring several subsets pass the precomputed full-population
+        ``seeds`` list to avoid re-deriving it per subset.
+        """
+        executor = self.executor or ParallelExecutor(
+            backend=self.config.backend, max_workers=self.config.max_workers)
+        if seeds is None:
+            seeds = task_seeds(self.config.seed, len(records))
+        tasks = [(records[i], seeds[i]) for i in indices]
+        partials = executor.map(_probe_task, tasks,
+                                initializer=_init_probe_worker,
+                                initargs=(self.config,))
+        pending = [(outcome, probe) for outcome, probe in partials if probe is not None]
+        self._classify_pending(pending)
+        return [outcome for outcome, _ in partials]
+
+    def _run_pending_shards(self, checkpoint: CensusCheckpoint,
+                            population: ServerPopulation,
+                            stop_after_shards: int | None) -> CensusReport | None:
+        """Run every pending shard (up to ``stop_after_shards``), then merge."""
+        records = self._records(population)
+        assignments = shard_assignments(
+            [record.profile.server_id for record in records],
+            checkpoint.seed, checkpoint.num_shards)
+        seeds = task_seeds(self.config.seed, len(records))
+        completed_now = 0
+        for shard_index in checkpoint.pending_shards():
+            indices = assignments[shard_index]
+            outcomes = self._measure_indices(records, indices, seeds=seeds)
+            checkpoint.write_shard(shard_index, list(zip(indices, outcomes)))
+            completed_now += 1
+            if stop_after_shards is not None and completed_now >= stop_after_shards:
+                break
+        if checkpoint.all_complete():
+            return checkpoint.merge_report(expected_size=len(records))
+        return None
+
     def _classify_pending(self, pending: list[tuple[ServerOutcome, ProbeTrace]]) -> None:
         """Steps 5-6 for every outcome that survived the probe phase."""
         if not pending:

@@ -54,7 +54,15 @@ class CaaiClassifier:
 
     # ------------------------------------------------------------------ train
     def train(self, training_set: LabeledDataset) -> "CaaiClassifier":
-        """Fit the random forest on a labelled training set."""
+        """Fit the random forest on a labelled training set.
+
+        Args:
+            training_set: Feature vectors labelled with training labels
+                (:func:`repro.core.labels.training_label`).
+
+        Returns:
+            ``self``, for chaining (``CaaiClassifier(...).train(...)``).
+        """
         forest = RandomForestClassifier(n_trees=self.n_trees,
                                         max_features=self.max_features,
                                         seed=self.seed)
@@ -64,18 +72,45 @@ class CaaiClassifier:
 
     @property
     def is_trained(self) -> bool:
+        """Whether :meth:`train` has fitted a forest yet."""
         return self._forest is not None
 
     def classes(self) -> list[str]:
+        """The class labels the trained forest can assign, sorted.
+
+        Returns:
+            The label list of the fitted forest.
+
+        Raises:
+            RuntimeError: If the classifier has not been trained.
+        """
         return self._require_forest().classes()
 
     # --------------------------------------------------------------- classify
     def classify_vector(self, vector: FeatureVector, w_timeout: int) -> Identification:
-        """Classify an already-extracted feature vector."""
+        """Classify an already-extracted feature vector.
+
+        Args:
+            vector: The seven-element CAAI feature vector.
+            w_timeout: The ``w_timeout`` the probe was gathered at.
+
+        Returns:
+            The :class:`Identification` (label, confidence, unsure flag).
+        """
         return self.classify_vectors([vector], w_timeout)[0]
 
     def classify_probe(self, probe: ProbeTrace) -> Identification:
-        """Extract features from a probe and classify them."""
+        """Extract features from a probe and classify them.
+
+        Args:
+            probe: A usable probe (``probe.usable_for_features`` true).
+
+        Returns:
+            The :class:`Identification` of the probed server.
+
+        Raises:
+            ValueError: If the probe is not usable for feature extraction.
+        """
         if not probe.usable_for_features:
             raise ValueError("probe is not usable for classification; check "
                              "probe.usable_for_features before calling")
@@ -85,9 +120,13 @@ class CaaiClassifier:
     def classify_vectors(self, vectors, w_timeout) -> list[Identification]:
         """Classify a whole batch through the forest in one vectorised pass.
 
-        ``vectors`` is a sequence of :class:`FeatureVector` or a
-        ``(n_samples, n_features)`` matrix; ``w_timeout`` is one value for the
-        whole batch or one value per vector.
+        Args:
+            vectors: A sequence of :class:`FeatureVector` or a
+                ``(n_samples, n_features)`` matrix.
+            w_timeout: One value for the whole batch, or one per vector.
+
+        Returns:
+            One :class:`Identification` per vector, in input order.
         """
         if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
             feature_vectors = [FeatureVector.from_array(row) for row in vectors]
@@ -111,6 +150,15 @@ class CaaiClassifier:
 
     def classify_many(self, vectors: list[FeatureVector],
                       w_timeout: int) -> list[Identification]:
+        """Alias of :meth:`classify_vectors` kept for older call sites.
+
+        Args:
+            vectors: Feature vectors to classify.
+            w_timeout: The shared ``w_timeout`` of the whole batch.
+
+        Returns:
+            One :class:`Identification` per vector, in input order.
+        """
         return self.classify_vectors(vectors, w_timeout)
 
     # ------------------------------------------------------------- internals
@@ -121,4 +169,5 @@ class CaaiClassifier:
 
     @property
     def forest(self) -> RandomForestClassifier:
+        """The fitted forest (raises ``RuntimeError`` when untrained)."""
         return self._require_forest()

@@ -154,7 +154,17 @@ class TraceGatherer:
     # ------------------------------------------------------------------ API
     def gather_probe(self, server: ProbeableServer, condition: NetworkCondition,
                      rng: np.random.Generator, server_id: str | None = None) -> ProbeTrace:
-        """Probe a server in both environments and return the pair of traces."""
+        """Probe a server in both environments and return the pair of traces.
+
+        Args:
+            server: The server to probe (anything :class:`ProbeableServer`).
+            condition: The emulated path (RTT, jitter, loss).
+            rng: Random stream for the per-packet loss draws.
+            server_id: Optional id recorded on the resulting trace.
+
+        Returns:
+            The :class:`ProbeTrace` pairing the environment A and B traces.
+        """
         start_time = 0.0
         traces = []
         for environment in self.environments:
@@ -172,7 +182,19 @@ class TraceGatherer:
     def gather_trace(self, server: ProbeableServer, environment: NetworkEnvironment,
                      condition: NetworkCondition, rng: np.random.Generator,
                      start_time: float = 0.0) -> WindowTrace:
-        """Gather one window trace in one environment."""
+        """Gather one window trace in one environment.
+
+        Args:
+            server: The server to probe.
+            environment: The emulated environment (RTT schedule).
+            condition: The emulated path (RTT, jitter, loss).
+            rng: Random stream for the per-packet loss draws.
+            start_time: Connection open time (lets environment B start after
+                the configured inter-environment wait).
+
+        Returns:
+            The per-round :class:`WindowTrace` (possibly marked invalid).
+        """
         config = self.config
         if not server.accepts_mss(config.mss):
             return WindowTrace.invalid(environment.name, config.w_timeout,

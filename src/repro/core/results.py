@@ -33,7 +33,64 @@ class ServerOutcome:
 
     @property
     def is_special_case(self) -> bool:
+        """Whether the outcome landed in one of the special-trace categories."""
         return self.special_case is not None
+
+    # -------------------------------------------------------- serialization
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation used by the checkpoint layer.
+
+        Floats round-trip exactly (``json`` serialises them with ``repr``),
+        so an outcome written to a checkpoint and read back compares equal to
+        the in-memory original — the property the resume parity guarantee
+        rests on.
+
+        Returns:
+            A dict of JSON-native values; enum fields are stored by value.
+        """
+        return {
+            "server_id": self.server_id,
+            "valid": self.valid,
+            "w_timeout": self.w_timeout,
+            "mss": self.mss,
+            "category": self.category,
+            "confidence": self.confidence,
+            "invalid_reason": (self.invalid_reason.value
+                               if self.invalid_reason is not None else None),
+            "special_case": (self.special_case.value
+                             if self.special_case is not None else None),
+            "true_algorithm": self.true_algorithm,
+            "software": self.software,
+            "region": self.region,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ServerOutcome":
+        """Rebuild an outcome from :meth:`to_json_dict` output.
+
+        Args:
+            data: A dict previously produced by :meth:`to_json_dict`.
+
+        Returns:
+            A :class:`ServerOutcome` equal to the one that was serialised.
+        """
+        invalid_reason = data.get("invalid_reason")
+        special_case = data.get("special_case")
+        return cls(
+            server_id=data["server_id"],
+            valid=data["valid"],
+            w_timeout=data.get("w_timeout"),
+            mss=data.get("mss"),
+            category=data.get("category"),
+            confidence=data.get("confidence"),
+            invalid_reason=(InvalidReason(invalid_reason)
+                            if invalid_reason is not None else None),
+            special_case=(SpecialCase(special_case)
+                          if special_case is not None else None),
+            true_algorithm=data.get("true_algorithm"),
+            software=data.get("software"),
+            region=data.get("region"),
+        )
 
 
 @dataclass

@@ -74,6 +74,13 @@ class TrainingSetBuilder:
         random stream and the pairs fan out over ``executor`` (serial by
         default), so the examples are identical for every backend and worker
         count.
+
+        Args:
+            executor: Optional :class:`ParallelExecutor` to fan the pairs
+                out over (defaults to in-process serial execution).
+
+        Returns:
+            Every :class:`TrainingExample`, grouped by pair, in pair order.
         """
         pairs = [(algorithm, w_timeout)
                  for algorithm in self.algorithms
@@ -85,12 +92,26 @@ class TrainingSetBuilder:
         return [example for pair_examples in per_pair for example in pair_examples]
 
     def build_dataset(self, executor: ParallelExecutor | None = None) -> LabeledDataset:
-        """Generate the training set as a :class:`LabeledDataset`."""
+        """Generate the training set as a :class:`LabeledDataset`.
+
+        Args:
+            executor: Optional :class:`ParallelExecutor`, as for
+                :meth:`build_examples`.
+
+        Returns:
+            The examples packed into a :class:`LabeledDataset` with CAAI's
+            feature names.
+        """
         examples = self.build_examples(executor=executor)
         rows = [(example.vector.as_array(), example.label) for example in examples]
         return LabeledDataset.from_rows(rows, feature_names=FeatureVector.ELEMENT_NAMES)
 
     def expected_size(self) -> int:
+        """Number of examples a full build produces (pairs x conditions).
+
+        Returns:
+            ``len(algorithms) * len(w_timeouts) * conditions_per_pair``.
+        """
         return len(self.algorithms) * len(self.w_timeouts) * self.conditions_per_pair
 
     # ------------------------------------------------------------- internals

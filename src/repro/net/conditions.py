@@ -17,6 +17,7 @@ training run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -124,3 +125,82 @@ def default_condition_database(size: int = PAPER_DATABASE_SIZE,
 
     return ConditionDatabase(average_rtts=average_rtts, rtt_stds=rtt_stds,
                              loss_rates=loss_rates)
+
+
+# ---------------------------------------------------------------- presets
+def _high_bdp_database(size: int, seed: int) -> ConditionDatabase:
+    """Long-fat-network paths: large RTTs, little jitter, almost no loss."""
+    rng = np.random.default_rng(seed)
+    average_rtts = np.clip(
+        rng.lognormal(mean=np.log(0.45), sigma=0.25, size=size), 0.20, 0.79)
+    rtt_stds = np.clip(
+        rng.lognormal(mean=np.log(0.006), sigma=0.8, size=size), 0.0002, 0.05)
+    loss_rates = np.clip(rng.exponential(scale=0.0008, size=size), 0.0, 0.01)
+    return ConditionDatabase(average_rtts=average_rtts, rtt_stds=rtt_stds,
+                             loss_rates=loss_rates)
+
+
+def _lossy_wireless_database(size: int, seed: int) -> ConditionDatabase:
+    """Wireless-like paths: moderate RTTs, heavy jitter, frequent loss."""
+    rng = np.random.default_rng(seed)
+    average_rtts = np.clip(
+        rng.lognormal(mean=np.log(0.12), sigma=0.55, size=size), 0.02, 0.79)
+    rtt_stds = np.clip(
+        rng.lognormal(mean=np.log(0.035), sigma=0.9, size=size), 0.002, 0.25)
+    # ~85 % of paths see real loss, with a tail to several percent.
+    lossless = rng.uniform(0.0, 0.002, size=size)
+    lossy = np.clip(rng.exponential(scale=0.030, size=size), 0.001, 0.15)
+    loss_rates = np.where(rng.random(size) < 0.85, lossy, lossless)
+    return ConditionDatabase(average_rtts=average_rtts, rtt_stds=rtt_stds,
+                             loss_rates=loss_rates)
+
+
+def _bufferbloat_database(size: int, seed: int) -> ConditionDatabase:
+    """Queue-dominated paths: inflated RTTs with huge jitter, little loss
+    (deep buffers absorb packets instead of dropping them)."""
+    rng = np.random.default_rng(seed)
+    average_rtts = np.clip(
+        rng.lognormal(mean=np.log(0.28), sigma=0.45, size=size), 0.05, 0.79)
+    rtt_stds = np.clip(
+        rng.lognormal(mean=np.log(0.080), sigma=0.7, size=size), 0.010, 0.25)
+    loss_rates = np.clip(rng.exponential(scale=0.0015, size=size), 0.0, 0.02)
+    return ConditionDatabase(average_rtts=average_rtts, rtt_stds=rtt_stds,
+                             loss_rates=loss_rates)
+
+
+#: Named condition-database presets selectable from the census CLI
+#: (``--conditions``); ``"paper"`` is the Figs. 4/10/11 reproduction.
+CONDITION_DB_PRESETS: dict[str, Callable[[int, int], ConditionDatabase]] = {
+    "paper": default_condition_database,
+    "high-bdp": _high_bdp_database,
+    "lossy-wireless": _lossy_wireless_database,
+    "bufferbloat": _bufferbloat_database,
+}
+
+
+def condition_database_preset(name: str, size: int = PAPER_DATABASE_SIZE,
+                              seed: int = 2010) -> ConditionDatabase:
+    """Build a named condition database.
+
+    Args:
+        name: One of :data:`CONDITION_DB_PRESETS` (``"paper"``,
+            ``"high-bdp"``, ``"lossy-wireless"``, ``"bufferbloat"``).
+        size: Number of emulated paths to draw.
+        seed: Seed of the parametric draws (deterministic per preset).
+
+    Returns:
+        The generated :class:`ConditionDatabase`.
+
+    Raises:
+        ValueError: If the preset name is unknown; the message lists every
+            valid name.
+    """
+    if size <= 0:
+        raise ValueError("database size must be positive")
+    try:
+        builder = CONDITION_DB_PRESETS[name]
+    except KeyError:
+        valid = ", ".join(sorted(CONDITION_DB_PRESETS))
+        raise ValueError(f"unknown condition-database preset {name!r}; "
+                         f"valid names: {valid}") from None
+    return builder(size, seed)

@@ -72,6 +72,7 @@ class ParallelExecutor:
 
     @property
     def workers(self) -> int:
+        """Effective worker count (``max_workers`` or one per CPU)."""
         return self.max_workers if self.max_workers is not None else default_worker_count()
 
     def map(self, function: Callable, tasks: Iterable,
@@ -79,9 +80,17 @@ class ParallelExecutor:
             initargs: Sequence = ()) -> list:
         """Apply ``function`` to every task, returning results in task order.
 
-        ``initializer`` runs once per worker (or once in-process for the
-        serial backend) before any task; use it to build per-worker state that
-        is expensive to pickle per task.
+        Args:
+            function: Picklable callable applied to each task.
+            tasks: The task objects (materialised into a list up front).
+            initializer: Runs once per worker (or once in-process for the
+                serial backend) before any task; use it to build per-worker
+                state that is expensive to pickle per task.
+            initargs: Arguments passed to ``initializer``.
+
+        Returns:
+            ``[function(task) for task in tasks]``, always in task order
+            regardless of backend or worker count.
         """
         task_list = list(tasks)
         if self.backend == "serial" or not task_list:

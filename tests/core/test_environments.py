@@ -6,6 +6,10 @@ from repro.core.environments import (
     DEFAULT_ENVIRONMENTS,
     ENVIRONMENT_A,
     ENVIRONMENT_B,
+    ENVIRONMENT_BUFFERBLOAT,
+    ENVIRONMENT_HIGH_BDP,
+    ENVIRONMENT_LOSSY_WIRELESS,
+    ENVIRONMENT_PRESETS,
     VALID_TRACE_ROUNDS_AFTER_TIMEOUT,
     W_TIMEOUT_LADDER,
     environment_by_name,
@@ -57,3 +61,37 @@ class TestConstants:
     def test_negative_round_rejected(self):
         with pytest.raises(ValueError):
             ENVIRONMENT_A.rtt_before_timeout(-1)
+
+
+class TestEnvironmentPresets:
+    def test_registry_holds_paper_pair_and_scenarios(self):
+        assert set(ENVIRONMENT_PRESETS) == {"A", "B", "high-bdp",
+                                            "lossy-wireless", "bufferbloat"}
+        assert environment_by_name("high-bdp") is ENVIRONMENT_HIGH_BDP
+        assert environment_by_name("lossy-wireless") is ENVIRONMENT_LOSSY_WIRELESS
+        assert environment_by_name("bufferbloat") is ENVIRONMENT_BUFFERBLOAT
+
+    def test_defaults_stay_the_paper_pair(self):
+        # The shipped classifier is trained on A/B traces only; scenario
+        # presets must never leak into the stock probing order.
+        assert DEFAULT_ENVIRONMENTS == (ENVIRONMENT_A, ENVIRONMENT_B)
+
+    def test_unknown_name_raises_value_error_listing_presets(self):
+        with pytest.raises(ValueError) as error:
+            environment_by_name("Z")
+        message = str(error.value)
+        assert "'Z'" in message
+        for name in ENVIRONMENT_PRESETS:
+            assert name in message
+
+    def test_scenario_schedules_are_well_formed(self):
+        for name, environment in ENVIRONMENT_PRESETS.items():
+            assert environment.name == name
+            assert 0 < environment.short_rtt <= environment.long_rtt
+            schedule = environment.rtt_schedule(pre_rounds=8, post_rounds=18)
+            assert len(schedule) == 26
+            assert all(rtt > 0 for rtt in schedule)
+
+    def test_bufferbloat_rtt_inflates_after_queue_fills(self):
+        assert ENVIRONMENT_BUFFERBLOAT.rtt_before_timeout(0) < \
+            ENVIRONMENT_BUFFERBLOAT.rtt_before_timeout(5)

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.net.conditions import (
+    CONDITION_DB_PRESETS,
     ConditionDatabase,
     NetworkCondition,
+    condition_database_preset,
     default_condition_database,
 )
 
@@ -72,3 +74,55 @@ class TestDefaultDatabase:
             assert np.all(np.diff(values) >= 0)
             assert np.all(np.diff(fractions) >= 0)
             assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestConditionPresets:
+    def test_expected_preset_names(self):
+        assert set(CONDITION_DB_PRESETS) == {"paper", "high-bdp",
+                                             "lossy-wireless", "bufferbloat"}
+
+    @pytest.mark.parametrize("name", sorted(CONDITION_DB_PRESETS))
+    def test_presets_yield_valid_sampleable_databases(self, name):
+        database = condition_database_preset(name, size=400, seed=5)
+        assert len(database) == 400
+        rng = np.random.default_rng(0)
+        for condition in database.sample_many(25, rng):
+            assert 0 < condition.average_rtt < 0.8
+            assert condition.rtt_std >= 0
+            assert 0 <= condition.loss_rate < 1
+
+    def test_presets_are_deterministic(self):
+        first = condition_database_preset("lossy-wireless", size=100, seed=3)
+        second = condition_database_preset("lossy-wireless", size=100, seed=3)
+        assert np.array_equal(first.average_rtts, second.average_rtts)
+        assert np.array_equal(first.loss_rates, second.loss_rates)
+
+    def test_paper_preset_matches_default_database(self):
+        preset = condition_database_preset("paper", size=300, seed=4)
+        default = default_condition_database(size=300, seed=4)
+        assert np.array_equal(preset.average_rtts, default.average_rtts)
+
+    def test_high_bdp_has_long_fat_paths(self):
+        database = condition_database_preset("high-bdp", size=2000, seed=1)
+        assert np.median(database.average_rtts) > 0.3
+        assert np.median(database.loss_rates) < 0.005
+
+    def test_lossy_wireless_is_lossy_and_jittery(self):
+        database = condition_database_preset("lossy-wireless", size=2000, seed=1)
+        paper = default_condition_database(size=2000, seed=1)
+        assert np.median(database.loss_rates) > np.median(paper.loss_rates)
+        assert np.median(database.rtt_stds) > np.median(paper.rtt_stds)
+
+    def test_bufferbloat_dominated_by_queueing_delay(self):
+        database = condition_database_preset("bufferbloat", size=2000, seed=1)
+        paper = default_condition_database(size=2000, seed=1)
+        assert np.median(database.rtt_stds) > np.median(paper.rtt_stds)
+        assert np.median(database.average_rtts) > np.median(paper.average_rtts)
+        assert np.median(database.loss_rates) < 0.005
+
+    def test_unknown_preset_lists_valid_names(self):
+        with pytest.raises(ValueError) as error:
+            condition_database_preset("dialup")
+        message = str(error.value)
+        for name in CONDITION_DB_PRESETS:
+            assert name in message

