@@ -1,59 +1,25 @@
 """Ablation: the paper's classifier model-selection study (Section VI).
 
-The paper compared k-NN, decision trees, naive Bayes, SVMs and random forests
-in Weka and found random forests consistently most accurate. This benchmark
-repeats the comparison with the from-scratch classifiers, and additionally
-measures how much the second emulated environment contributes (an A-only
-feature vector ablation).
+The paper compared k-NN, decision trees, naive Bayes, SVMs and random
+forests in Weka and found random forests consistently most accurate. This
+benchmark repeats the comparison with the from-scratch classifiers, and
+additionally measures how much the second emulated environment contributes
+(an A-only feature vector ablation). Thin wrapper over the ``ablation``
+registry entry (:mod:`repro.experiments.definitions`).
 """
 
-import numpy as np
+from repro.experiments import get_experiment
 
-from repro.analysis.tables import format_table
-from repro.ml.dataset import LabeledDataset
-from repro.ml.decision_tree import DecisionTreeClassifier
-from repro.ml.knn import KNearestNeighborsClassifier
-from repro.ml.naive_bayes import GaussianNaiveBayesClassifier
-from repro.ml.random_forest import RandomForestClassifier
-from repro.ml.validation import cross_validate
-
-from benchmarks.bench_common import current_scale, print_header, run_once, training_set
-
-
-def compare_classifiers():
-    scale = current_scale()
-    dataset = training_set()
-    factories = {
-        "random forest": lambda: RandomForestClassifier(n_trees=scale.forest_trees,
-                                                        max_features=4, seed=1),
-        "decision tree": lambda: DecisionTreeClassifier(),
-        "k-NN (k=5)": lambda: KNearestNeighborsClassifier(k=5),
-        "naive Bayes": lambda: GaussianNaiveBayesClassifier(),
-    }
-    accuracies = {}
-    for name, factory in factories.items():
-        result = cross_validate(dataset, factory,
-                                n_folds=scale.cross_validation_folds, seed=3)
-        accuracies[name] = result.accuracy
-
-    # Environment ablation: keep only the environment-A features (plus the
-    # reach flag set to 1), mimicking a single-environment CAAI.
-    a_only = LabeledDataset(dataset.features[:, :3], dataset.labels)
-    ablation = cross_validate(
-        a_only, lambda: RandomForestClassifier(n_trees=scale.forest_trees,
-                                               max_features=2, seed=1),
-        n_folds=scale.cross_validation_folds, seed=3)
-    accuracies["random forest (environment A only)"] = ablation.accuracy
-    return accuracies
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_ablation_classifier_choice(benchmark):
-    accuracies = run_once(benchmark, compare_classifiers)
+    experiment = get_experiment("ablation")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Section VI reproduction: classifier comparison + environment ablation")
-    rows = [[name, f"{100 * accuracy:.2f}"] for name, accuracy in
-            sorted(accuracies.items(), key=lambda kv: -kv[1])]
-    print(format_table(["Classifier", "10-fold CV accuracy (%)"], rows))
+    print(experiment.render(payload))
 
+    accuracies = payload["accuracies"]
     forest = accuracies["random forest"]
     # The paper's findings: the random forest is the best (or tied-best)
     # full-feature classifier, and both environments together beat A alone.

@@ -1,19 +1,29 @@
 """Shared infrastructure for the benchmark harness.
 
-Every benchmark regenerates one table or figure of the paper. The expensive
-artefacts (training set, trained classifier, census report) are built once per
-pytest session and shared across benchmarks.
+Every benchmark regenerates one table or figure of the paper. Since the
+experiment registry (:mod:`repro.experiments`) became the home of those
+computations, the harness is a thin layer over it: each ``bench_*`` module
+wraps one registry entry, computing the same payload the
+``python -m repro.report`` CLI caches — at the same seeds, so the numbers
+are bit-identical between a benchmark run and a report run.
 
-The ``REPRO_SCALE`` environment variable controls the workload size:
+The expensive artefacts (training set, trained classifier, census report)
+live in one :class:`~repro.experiments.resources.ResourcePool` per pytest
+session, shared across benchmarks exactly as the historic ``lru_cache``
+helpers were.
 
-* ``small`` (default) -- shrunk sample counts so the whole suite runs in a few
-  minutes; percentages and shapes are stable because every server/condition is
-  an independent draw.
+The ``REPRO_SCALE`` environment variable selects the scale profile:
+
+* ``small`` (default) -- shrunk sample counts so the whole suite runs in a
+  few minutes; percentages and shapes are stable because every
+  server/condition is an independent draw.
 * ``paper`` -- the paper's sample counts (5600 training vectors, a census of
   thousands of servers).
 
-``REPRO_BACKEND`` (``serial`` / ``process``) and ``REPRO_WORKERS`` select the
-execution backend for the census and training workloads; results are
+``smoke`` and ``medium`` (the other registry profiles) work too.
+
+``REPRO_BACKEND`` (``serial`` / ``process``) and ``REPRO_WORKERS`` select
+the execution backend for the census and training workloads; results are
 bit-identical across backends, so the parallel knobs only change wall-clock
 time.
 """
@@ -21,50 +31,20 @@ time.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from functools import lru_cache
 
-import numpy as np
-
-from repro.core.census import CensusConfig, CensusRunner
-from repro.core.classifier import CaaiClassifier
-from repro.core.training import TrainingSetBuilder
-from repro.ml.dataset import LabeledDataset
-from repro.net.conditions import default_condition_database
+from repro.experiments.profiles import PROFILES, ScaleProfile
+from repro.experiments.registry import ExperimentContext
+from repro.experiments.resources import ResourcePool
 from repro.parallel import ParallelExecutor
-from repro.web.population import PopulationConfig, ServerPopulation
 
 
-@dataclass(frozen=True)
-class Scale:
-    """Workload sizes used by the benchmark harness."""
-
-    name: str
-    training_conditions_per_pair: int
-    census_size: int
-    condition_database_size: int
-    forest_trees: int
-    cross_validation_folds: int
-
-
-SCALES = {
-    "small": Scale(name="small", training_conditions_per_pair=6, census_size=250,
-                   condition_database_size=1000, forest_trees=60,
-                   cross_validation_folds=5),
-    "medium": Scale(name="medium", training_conditions_per_pair=25, census_size=1500,
-                    condition_database_size=3000, forest_trees=80,
-                    cross_validation_folds=10),
-    "paper": Scale(name="paper", training_conditions_per_pair=100, census_size=63124,
-                   condition_database_size=5000, forest_trees=80,
-                   cross_validation_folds=10),
-}
-
-
-def current_scale() -> Scale:
+def current_scale() -> ScaleProfile:
+    """The scale profile selected by ``REPRO_SCALE`` (default ``small``)."""
     name = os.environ.get("REPRO_SCALE", "small").lower()
-    if name not in SCALES:
-        raise ValueError(f"unknown REPRO_SCALE {name!r}; choose from {sorted(SCALES)}")
-    return SCALES[name]
+    if name not in PROFILES:
+        raise ValueError(f"unknown REPRO_SCALE {name!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[name]
 
 
 def current_executor() -> ParallelExecutor:
@@ -76,44 +56,43 @@ def current_executor() -> ParallelExecutor:
 
 
 @lru_cache(maxsize=1)
+def resource_pool() -> ResourcePool:
+    """The per-session shared-resource pool at the current scale."""
+    return ResourcePool(current_scale(), executor=current_executor())
+
+
+@lru_cache(maxsize=1)
+def bench_context() -> ExperimentContext:
+    """The experiment context every benchmark wrapper computes through."""
+    return ExperimentContext(profile=current_scale(), pool=resource_pool(),
+                             executor=current_executor())
+
+
+# Historic accessor names, now delegating to the shared pool; kept because
+# the probe/inference benchmarks and older scripts import them directly.
 def condition_database():
-    scale = current_scale()
-    return default_condition_database(size=scale.condition_database_size, seed=2010)
+    """The session's measured network-condition database."""
+    return resource_pool().condition_database()
 
 
-@lru_cache(maxsize=1)
-def training_set() -> LabeledDataset:
-    scale = current_scale()
-    builder = TrainingSetBuilder(
-        conditions_per_pair=scale.training_conditions_per_pair,
-        seed=7,
-        condition_database=condition_database(),
-    )
-    return builder.build_dataset(executor=current_executor())
+def training_set():
+    """The session's labelled CAAI training set."""
+    return resource_pool().training_set()
 
 
-@lru_cache(maxsize=1)
-def trained_classifier() -> CaaiClassifier:
-    scale = current_scale()
-    classifier = CaaiClassifier(n_trees=scale.forest_trees, seed=3)
-    classifier.train(training_set())
-    return classifier
+def trained_classifier():
+    """The session's trained census classifier."""
+    return resource_pool().classifier()
 
 
-@lru_cache(maxsize=1)
-def census_population() -> ServerPopulation:
-    scale = current_scale()
-    population = ServerPopulation(PopulationConfig(size=scale.census_size, seed=2011),
-                                  condition_database=condition_database())
-    population.generate()
-    return population
+def census_population():
+    """The session's synthetic census population."""
+    return resource_pool().population()
 
 
-@lru_cache(maxsize=1)
 def census_report():
-    runner = CensusRunner(trained_classifier(), CensusConfig(seed=99),
-                          executor=current_executor())
-    return runner.run(census_population())
+    """The session's aggregated census report."""
+    return resource_pool().census_report()
 
 
 def run_once(benchmark, function):

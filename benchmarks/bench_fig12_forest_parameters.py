@@ -1,47 +1,29 @@
 """Figure 12: cross-validation accuracy versus the random forest parameters.
 
-The paper sweeps the number of trees K and the per-node feature subspace size
-m, finding that accuracy saturates around K = 80 and that m = 4 (the Weka
-default) works well; it then fixes K = 80, m = 4.
+The paper sweeps the number of trees K and the per-node feature subspace
+size m, finding that accuracy saturates around K = 80 and that m = 4 (the
+Weka default) works well; it then fixes K = 80, m = 4. Thin wrapper over
+the ``fig12`` registry entry (:mod:`repro.experiments.definitions`).
 """
 
-from repro.analysis.tables import format_table
-from repro.ml.random_forest import RandomForestClassifier
-from repro.ml.validation import cross_validate
+from repro.experiments import get_experiment
+from repro.experiments.definitions import FIG12_SUBSPACE_SIZES, FIG12_TREE_COUNTS
 
-from benchmarks.bench_common import current_scale, print_header, run_once, training_set
-
-TREE_COUNTS = (5, 10, 20, 40, 80)
-SUBSPACE_SIZES = (1, 2, 4, 6)
-
-
-def sweep():
-    scale = current_scale()
-    dataset = training_set()
-    results = {}
-    for m in SUBSPACE_SIZES:
-        for k in TREE_COUNTS:
-            outcome = cross_validate(
-                dataset,
-                lambda k=k, m=m: RandomForestClassifier(n_trees=k, max_features=m, seed=1),
-                n_folds=scale.cross_validation_folds, seed=2)
-            results[(k, m)] = outcome.accuracy
-    return results
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_fig12_forest_parameter_sweep(benchmark):
-    results = run_once(benchmark, sweep)
+    experiment = get_experiment("fig12")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Figure 12 reproduction: CV accuracy vs forest parameters")
-    rows = []
-    for m in SUBSPACE_SIZES:
-        rows.append([f"m={m}"] + [f"{100 * results[(k, m)]:.1f}" for k in TREE_COUNTS])
-    print(format_table(["subspace \\ trees"] + [f"K={k}" for k in TREE_COUNTS], rows,
-                       title="Accuracy (%) per (K, m)"))
+    print(experiment.render(payload))
 
     # Shape checks: accuracy improves and then saturates with K, and the
     # selected configuration (K=80, m=4) performs near the best observed.
-    best = max(results.values())
-    assert results[(80, 4)] >= best - 0.03
-    for m in SUBSPACE_SIZES:
-        assert results[(80, m)] >= results[(5, m)] - 0.02
+    grid = payload["accuracy_grid"]
+    best = payload["metrics"]["best_accuracy"]
+    assert payload["metrics"]["selected_accuracy"] >= best - 0.03
+    for m in FIG12_SUBSPACE_SIZES:
+        assert grid[f"m={m}"]["K=80"] >= grid[f"m={m}"]["K=5"] - 0.02
     assert best > 0.85
+    assert list(FIG12_TREE_COUNTS) == payload["tree_counts"]

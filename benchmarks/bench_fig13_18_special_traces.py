@@ -2,70 +2,35 @@
 
 Fig. 13 -- an invalid trace whose window never exceeds w_timeout; Fig. 14 --
 "Remaining at 1 Packet"; Fig. 15 -- "Nonincreasing Window"; Fig. 16 --
-"Approaching w_t"; Fig. 17 -- "Bounded Window"; Fig. 18 -- a trace the random
-forest cannot classify confidently ("Unsure TCP"). Each is regenerated from a
-server configured with the corresponding behaviour.
+"Approaching w_t"; Fig. 17 -- "Bounded Window"; Fig. 18 -- a trace the
+random forest cannot classify confidently ("Unsure TCP"). Each is
+regenerated from a server configured with the corresponding behaviour.
+Thin wrapper over the ``fig13_18`` registry entry
+(:mod:`repro.experiments.definitions`).
 """
 
-import numpy as np
-
-from repro.analysis.figures import ascii_series
-from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
-from repro.core.special_cases import SpecialCase, detect_special_case
+from repro.core.special_cases import SpecialCase
 from repro.core.trace import InvalidReason
-from repro.net.conditions import NetworkCondition
-from repro.tcp.connection import SenderConfig
+from repro.experiments import get_experiment
 
-from benchmarks.bench_common import print_header, run_once
-
-
-def gather_special_traces():
-    rng = np.random.default_rng(5)
-    condition = NetworkCondition.ideal()
-    gatherer = TraceGatherer(GatherConfig(w_timeout=512, mss=100))
-
-    def server(**kwargs):
-        return SyntheticServer("cubic-b",
-                               lambda mss: SenderConfig(mss=mss, initial_window=3, **kwargs))
-
-    cases = {}
-    # Fig. 13: data-limited server whose window never exceeds w_timeout.
-    limited = SyntheticServer("cubic-b", lambda mss: SenderConfig(mss=mss, initial_window=3),
-                              available_bytes=30_000)
-    cases["fig13_no_timeout"] = gatherer.gather_probe(limited, condition, rng)
-    # Fig. 14: window stuck at one packet after the timeout.
-    cases["fig14_remaining_at_1"] = gatherer.gather_probe(
-        server(post_timeout_stall=True), condition, rng)
-    # Fig. 15: window frozen in congestion avoidance.
-    cases["fig15_nonincreasing"] = gatherer.gather_probe(
-        server(freeze_in_avoidance=True), condition, rng)
-    # Fig. 16: window creeping towards the pre-timeout window.
-    cases["fig16_approaching"] = gatherer.gather_probe(
-        server(approach_ceiling=1000.0, approach_gain=0.03), condition, rng)
-    # Fig. 17: window bounded by the send buffer above w_timeout.
-    cases["fig17_bounded"] = gatherer.gather_probe(
-        server(send_buffer_packets=640.0), condition, rng)
-    return cases
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_fig13_18_special_traces(benchmark):
-    cases = run_once(benchmark, gather_special_traces)
+    experiment = get_experiment("fig13_18")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Figures 13-17 reproduction: invalid and special-case traces")
-    for name, probe in cases.items():
-        windows = probe.trace_a.all_windows()
-        print()
-        print(ascii_series(windows, label=name))
-        if probe.trace_a.is_valid:
-            print(f"  detected special case: {detect_special_case(probe)}")
-        else:
-            print(f"  invalid reason: {probe.trace_a.invalid_reason}")
+    print(experiment.render(payload))
 
-    assert cases["fig13_no_timeout"].trace_a.invalid_reason in (
-        InvalidReason.INSUFFICIENT_DATA, InvalidReason.WINDOW_BELOW_W_TIMEOUT)
-    assert detect_special_case(cases["fig14_remaining_at_1"]) is SpecialCase.REMAINING_AT_ONE
+    cases = payload["cases"]
+    assert cases["fig13_no_timeout"]["invalid_reason"] in (
+        InvalidReason.INSUFFICIENT_DATA.value,
+        InvalidReason.WINDOW_BELOW_W_TIMEOUT.value)
+    assert cases["fig14_remaining_at_1"]["special_case"] == \
+        SpecialCase.REMAINING_AT_ONE.value
     # A window frozen above w_timeout is indistinguishable from a send-buffer
     # bound, so either flat-trace category is acceptable here.
-    assert detect_special_case(cases["fig15_nonincreasing"]) in (SpecialCase.NONINCREASING,
-                                                                 SpecialCase.BOUNDED)
-    assert detect_special_case(cases["fig17_bounded"]) in (SpecialCase.BOUNDED,
-                                                           SpecialCase.APPROACHING)
+    assert cases["fig15_nonincreasing"]["special_case"] in (
+        SpecialCase.NONINCREASING.value, SpecialCase.BOUNDED.value)
+    assert cases["fig17_bounded"]["special_case"] in (
+        SpecialCase.BOUNDED.value, SpecialCase.APPROACHING.value)

@@ -3,61 +3,32 @@
 The paper's Fig. 3 shows, for every algorithm, the per-RTT congestion window
 in the two emulated environments with ``w_timeout = 512`` on a loss-free
 testbed, plus panel (o) showing that RENO and the two CTCP versions coincide
-at ``w_timeout = 64``.
+at ``w_timeout = 64``. Thin wrapper over the ``fig3`` registry entry
+(:mod:`repro.experiments.definitions`), so a benchmark run and a
+``python -m repro.report`` run compute identical traces.
 """
 
 import numpy as np
 
-from repro.analysis.figures import ascii_series
-from repro.core.features import FeatureExtractor
-from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
-from repro.net.conditions import NetworkCondition
-from repro.tcp.connection import SenderConfig
-from repro.tcp.registry import IDENTIFIABLE_ALGORITHMS
+from repro.experiments import get_experiment
 
-from benchmarks.bench_common import print_header, run_once
-
-
-def gather_all_traces():
-    rng = np.random.default_rng(1)
-    condition = NetworkCondition.ideal()
-    traces = {}
-    gatherer = TraceGatherer(GatherConfig(w_timeout=512, mss=100))
-    for algorithm in IDENTIFIABLE_ALGORITHMS:
-        server = SyntheticServer(algorithm, lambda mss: SenderConfig(mss=mss, initial_window=3))
-        traces[algorithm] = gatherer.gather_probe(server, condition, rng)
-    # Panel (o): RENO and the CTCP versions at w_timeout = 64.
-    small_gatherer = TraceGatherer(GatherConfig(w_timeout=64, mss=100))
-    small = {}
-    for algorithm in ("reno", "ctcp-a", "ctcp-b"):
-        server = SyntheticServer(algorithm, lambda mss: SenderConfig(mss=mss, initial_window=3))
-        small[algorithm] = small_gatherer.gather_probe(server, condition, rng)
-    return traces, small
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_fig3_window_traces(benchmark):
-    traces, small = run_once(benchmark, gather_all_traces)
-    extractor = FeatureExtractor()
-    print_header("Figure 3 reproduction: window traces (environment A, post-timeout)")
-    vectors = {}
-    for algorithm, probe in traces.items():
-        series = probe.trace_a.pre_timeout + probe.trace_a.post_timeout
-        print()
-        print(ascii_series(series, label=f"({algorithm}) env A"))
-        if probe.usable_for_features:
-            vectors[algorithm] = extractor.extract(probe)
-    print_header("Figure 3(o): RENO vs CTCP at w_timeout = 64 (post-timeout windows)")
-    for algorithm, probe in small.items():
-        print(f"{algorithm:8s}", [round(w) for w in probe.trace_a.post_timeout])
+    experiment = get_experiment("fig3")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
+    print_header("Figure 3 reproduction: window traces (environment A)")
+    print(experiment.render(payload))
 
-    # Distinguishability: every pair of algorithms must differ in feature space.
-    names = list(vectors)
-    for i, a in enumerate(names):
-        for b in names[i + 1:]:
-            distance = np.linalg.norm(vectors[a].as_array() - vectors[b].as_array())
-            assert distance > 0.05, f"{a} and {b} produce indistinguishable traces"
+    # Distinguishability: every pair of algorithms must differ in feature
+    # space (the payload records the closest pair's distance).
+    metrics = payload["metrics"]
+    assert metrics["min_pairwise_feature_distance"] > 0.05, \
+        f"indistinguishable pair: {payload['closest_pair']}"
 
     # Panel (o): RENO and CTCP are nearly identical at w_timeout = 64.
-    reno = np.array(small["reno"].trace_a.post_timeout[:10])
-    ctcp = np.array(small["ctcp-a"].trace_a.post_timeout[:10])
+    panel = payload["panel_o_post_timeout"]
+    reno = np.array(panel["reno"][:10])
+    ctcp = np.array(panel["ctcp-a"][:10])
     assert np.allclose(reno, ctcp, rtol=0.35)

@@ -2,52 +2,44 @@
 
 Fig. 4 -- CDF of the average RTT of the measured servers (almost all below
 0.8 s, which justifies the 1.0 s emulated RTT). Fig. 10 -- CDF of the RTT
-standard deviation. Fig. 11 -- CDF of the packet-loss rate.
+standard deviation. Fig. 11 -- CDF of the packet-loss rate. Thin wrapper
+over the ``fig4_10_11`` registry entry
+(:mod:`repro.experiments.definitions`), so a benchmark run and a
+``python -m repro.report`` run compute identical CDFs.
 """
 
-import numpy as np
+from repro.experiments import get_experiment
 
-from repro.analysis.cdf import EmpiricalCdf
-from repro.analysis.figures import cdf_series
-
-from benchmarks.bench_common import condition_database, print_header, run_once
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
-def build_cdfs():
-    database = condition_database()
-    return {
-        "fig4_rtt": EmpiricalCdf.from_samples(database.average_rtts),
-        "fig10_rtt_std": EmpiricalCdf.from_samples(database.rtt_stds),
-        "fig11_loss": EmpiricalCdf.from_samples(database.loss_rates),
-    }
+def _payload(benchmark):
+    experiment = get_experiment("fig4_10_11")
+    return run_once(benchmark, lambda: experiment.compute(bench_context()))
 
 
 def test_fig4_rtt_cdf(benchmark):
-    cdfs = run_once(benchmark, build_cdfs)
-    rtt = cdfs["fig4_rtt"]
+    payload = _payload(benchmark)
     print_header("Figure 4 reproduction: CDF of server RTTs")
-    for value, fraction in cdf_series(rtt.values, points=np.arange(0.05, 0.85, 0.05)):
+    for value, fraction in payload["fig4_rtt_cdf"]:
         print(f"  RTT <= {value:4.2f} s : {100 * fraction:5.1f}%")
     # The property the paper relies on: essentially all RTTs below 0.8 s.
-    assert rtt.fraction_below(0.8) > 0.99
-    assert rtt.fraction_below(0.4) > 0.85
+    assert payload["metrics"]["rtt_fraction_below_0.8s"] > 0.99
+    assert payload["metrics"]["rtt_fraction_below_0.4s"] > 0.85
 
 
 def test_fig10_rtt_std_cdf(benchmark):
-    cdfs = run_once(benchmark, build_cdfs)
-    std = cdfs["fig10_rtt_std"]
+    payload = _payload(benchmark)
     print_header("Figure 10 reproduction: CDF of RTT standard deviations")
-    for value, fraction in cdf_series(std.values, points=[0.005, 0.01, 0.02, 0.05, 0.1, 0.25]):
+    for value, fraction in payload["fig10_rtt_std_cdf"]:
         print(f"  std <= {value * 1000:6.1f} ms : {100 * fraction:5.1f}%")
-    assert std.median() < 0.05
+    assert payload["metrics"]["rtt_std_median_s"] < 0.05
 
 
 def test_fig11_loss_cdf(benchmark):
-    cdfs = run_once(benchmark, build_cdfs)
-    loss = cdfs["fig11_loss"]
+    payload = _payload(benchmark)
     print_header("Figure 11 reproduction: CDF of packet-loss rates")
-    for value, fraction in cdf_series(loss.values, points=[0.0, 0.001, 0.005, 0.01,
-                                                           0.02, 0.05, 0.1]):
+    for value, fraction in payload["fig11_loss_cdf"]:
         print(f"  loss <= {100 * value:5.2f}% : {100 * fraction:5.1f}%")
-    assert loss.median() < 0.01
-    assert loss.fraction_below(0.12) == 1.0
+    assert payload["metrics"]["loss_rate_median"] < 0.01
+    assert payload["metrics"]["loss_fraction_below_0.12"] == 1.0

@@ -1,53 +1,43 @@
 """Figures 6 and 7: Web-server pipelining limits and page sizes.
 
 Fig. 6 -- CDF of the maximum number of repeated (pipelined) HTTP requests a
-server accepts: about 47 % accept a single request, about 60 % accept three or
-fewer. Fig. 7 -- CDF of default-page sizes versus the longest page found by
-the page-searching tool: about 12 % of default pages but about 48 % of longest
-found pages exceed 100 kB.
+server accepts: about 47 % accept a single request, about 60 % accept three
+or fewer. Fig. 7 -- CDF of default-page sizes versus the longest page found
+by the page-searching tool: about 12 % of default pages but about 48 % of
+longest found pages exceed 100 kB. Thin wrapper over the ``fig6_7``
+registry entry (:mod:`repro.experiments.definitions`).
 """
 
-import numpy as np
+from repro.experiments import get_experiment
 
-from repro.analysis.cdf import EmpiricalCdf
-from repro.web.crawler import PageSearchTool
-
-from benchmarks.bench_common import census_population, print_header, run_once
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
-def build_web_cdfs():
-    population = census_population()
-    pipelining = [record.profile.max_pipelined_requests for record in population.records]
-    crawler = PageSearchTool()
-    defaults, found = [], []
-    for record in population.records:
-        result = crawler.search(record.server.site)
-        defaults.append(result.default_size)
-        found.append(result.best_size)
-    return (EmpiricalCdf.from_samples(pipelining),
-            EmpiricalCdf.from_samples(defaults),
-            EmpiricalCdf.from_samples(found))
+def _payload(benchmark):
+    experiment = get_experiment("fig6_7")
+    return run_once(benchmark, lambda: experiment.compute(bench_context()))
 
 
 def test_fig6_pipelining_cdf(benchmark):
-    pipelining, _, _ = run_once(benchmark, build_web_cdfs)
+    payload = _payload(benchmark)
     print_header("Figure 6 reproduction: CDF of accepted repeated HTTP requests")
-    for limit in (1, 2, 3, 5, 8, 12, 24):
-        print(f"  <= {limit:3d} requests : {100 * pipelining.fraction_below(limit):5.1f}%")
-    assert 0.40 <= pipelining.fraction_below(1) <= 0.55      # paper: ~47%
-    assert 0.50 <= pipelining.fraction_below(3) <= 0.72      # paper: ~60%
+    for limit, share in payload["fig6_pipelining_cdf"]:
+        print(f"  <= {limit:3d} requests : {100 * share:5.1f}%")
+    metrics = payload["metrics"]
+    assert 0.40 <= metrics["pipelining_limit_1_share"] <= 0.55   # paper: ~47%
+    assert 0.50 <= metrics["pipelining_limit_3_share"] <= 0.72   # paper: ~60%
 
 
 def test_fig7_page_size_cdf(benchmark):
-    _, defaults, found = run_once(benchmark, build_web_cdfs)
+    payload = _payload(benchmark)
     print_header("Figure 7 reproduction: CDF of page sizes (default vs longest found)")
-    for size in (10_000, 30_000, 100_000, 300_000, 1_000_000, 5_000_000):
-        print(f"  <= {size / 1000:7.0f} kB : default {100 * defaults.fraction_below(size):5.1f}%"
-              f"   longest-found {100 * found.fraction_below(size):5.1f}%")
-    default_share_above_100k = 1.0 - defaults.fraction_below(100_000)
-    found_share_above_100k = 1.0 - found.fraction_below(100_000)
-    print(f"\n> 100 kB: default {100 * default_share_above_100k:.1f}% (paper: ~12%), "
-          f"longest found {100 * found_share_above_100k:.1f}% (paper: ~48%)")
-    assert 0.05 <= default_share_above_100k <= 0.25
-    assert 0.33 <= found_share_above_100k <= 0.65
-    assert found_share_above_100k > default_share_above_100k
+    for size, default_share, found_share in payload["fig7_page_size_cdf"]:
+        print(f"  <= {size / 1000:7.0f} kB : default {100 * default_share:5.1f}%"
+              f"   longest-found {100 * found_share:5.1f}%")
+    metrics = payload["metrics"]
+    print(f"\n> 100 kB: default {100 * metrics['default_pages_above_100kb']:.1f}% "
+          f"(paper: ~12%), longest found "
+          f"{100 * metrics['longest_pages_above_100kb']:.1f}% (paper: ~48%)")
+    assert 0.05 <= metrics["default_pages_above_100kb"] <= 0.25
+    assert 0.33 <= metrics["longest_pages_above_100kb"] <= 0.65
+    assert metrics["longest_pages_above_100kb"] > metrics["default_pages_above_100kb"]

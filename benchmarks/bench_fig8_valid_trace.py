@@ -1,35 +1,22 @@
 """Figure 8: anatomy of a valid trace (and Fig. 5's probe mechanics).
 
 A valid trace contains the slow start up to the emulated timeout, the window
-right before the timeout (w_t), and 18 rounds after the timeout, starting from
-one packet. This benchmark runs one packet-level probe (the faithful Fig. 5
-mechanism) and prints the annotated trace.
+right before the timeout (w_t), and 18 rounds after the timeout, starting
+from one packet. This benchmark runs one packet-level probe (the faithful
+Fig. 5 mechanism) and prints the annotated trace. Thin wrapper over the
+``fig8`` registry entry (:mod:`repro.experiments.definitions`).
 """
 
-from repro.analysis.figures import ascii_series
-from repro.core.environments import ENVIRONMENT_A
-from repro.core.features import FeatureExtractor
-from repro.core.prober import packet_level_trace
+from repro.experiments import get_experiment
 
-from benchmarks.bench_common import print_header, run_once
-
-
-def build_trace():
-    return packet_level_trace("cubic-b", ENVIRONMENT_A, w_timeout=256, initial_window=3)
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_fig8_valid_trace(benchmark):
-    trace = run_once(benchmark, build_trace)
+    experiment = get_experiment("fig8")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Figure 8 reproduction: a valid trace (packet-level probe, CUBIC)")
-    print("pre-timeout  (w_0 .. w_t):   ", [round(w) for w in trace.pre_timeout])
-    print("post-timeout (w_t+1 .. w_n): ", [round(w) for w in trace.post_timeout])
-    print()
-    print(ascii_series(trace.all_windows(), label="full trace"))
-    features = FeatureExtractor().extract_trace(trace)
-    print(f"\nw_t = {trace.w_loss:.0f}, boundary round = {features.boundary_round}, "
-          f"beta = {features.beta:.2f}, g1 = {features.growth_1:.1f}, "
-          f"g2 = {features.growth_2:.1f}")
-    assert trace.is_valid
-    assert len(trace.post_timeout) == 18
-    assert trace.post_timeout[0] <= 2
-    assert trace.w_loss > trace.w_timeout
+    print(experiment.render(payload))
+    assert payload["metrics"]["post_timeout_rounds"] == 18
+    assert payload["post_timeout"][0] <= 2
+    assert payload["w_loss"] > payload["w_timeout"]

@@ -1,35 +1,27 @@
-"""Section VII-B1: geography, server-software mix and the valid/invalid split."""
+"""Section VII-B1: geography, server-software mix and the valid/invalid split.
 
-from repro.analysis.tables import format_percentage_table
+Thin wrapper over the ``sec7`` registry entry
+(:mod:`repro.experiments.definitions`).
+"""
 
-from benchmarks.bench_common import census_population, census_report, print_header, run_once
+from repro.experiments import get_experiment
 
-
-def build_summaries():
-    population = census_population()
-    report = census_report()
-    return population.software_shares(), population.region_shares(), report
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_sec7_server_information(benchmark):
-    software, regions, report = run_once(benchmark, build_summaries)
+    experiment = get_experiment("sec7")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Section VII-B1 reproduction: server information")
-    print(format_percentage_table(
-        ["Software", "% of servers"],
-        [(name, [100 * share]) for name, share in sorted(software.items(), key=lambda kv: -kv[1])],
-        title="Server software"))
-    print()
-    print(format_percentage_table(
-        ["Region", "% of servers"],
-        [(name, [100 * share]) for name, share in sorted(regions.items(), key=lambda kv: -kv[1])],
-        title="Geography"))
-    print(f"\nValid-trace fraction: {100 * report.valid_fraction():.1f}% "
+    print(experiment.render(payload))
+    print(f"\nValid-trace fraction: "
+          f"{100 * payload['metrics']['valid_fraction']:.1f}% "
           f"(paper: 47% of 63124 servers)")
-    print(f"Invalid reasons: "
-          f"{ {k: round(100 * v, 1) for k, v in report.invalid_reason_shares().items()} }")
 
     # Shape checks straight from the paper's prose.
+    software = payload["software_shares"]
+    regions = payload["region_shares"]
     assert max(software, key=software.get) == "apache"
     assert software["apache"] > 0.6
     assert regions["europe"] > regions["north-america"] > regions["asia"] * 0.5
-    assert 0.2 < report.valid_fraction() < 0.95
+    assert 0.2 < payload["metrics"]["valid_fraction"] < 0.95

@@ -1,26 +1,18 @@
-"""Table I: TCP algorithms available in major operating system families."""
+"""Table I: TCP algorithms available in major operating system families.
 
-from repro.analysis.tables import format_table
-from repro.tcp.registry import algorithm_catalog
+Thin wrapper over the ``table1`` registry entry
+(:mod:`repro.experiments.definitions`).
+"""
 
-from benchmarks.bench_common import print_header, run_once
+from repro.experiments import get_experiment
 
-
-def build_table() -> str:
-    rows = []
-    for entry in algorithm_catalog():
-        rows.append([
-            entry.label,
-            "yes" if entry.windows_family else "-",
-            "yes" if entry.linux_family else "-",
-            ", ".join(entry.default_in) or "-",
-        ])
-    return format_table(["Algorithm", "Windows family", "Linux family", "Default in"],
-                        rows, title="Table I: TCP algorithms per OS family")
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_table1_algorithm_catalog(benchmark):
-    table = run_once(benchmark, build_table)
+    experiment = get_experiment("table1")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Table I reproduction")
+    table = experiment.render(payload)
     print(table)
     assert "CTCP" in table and "CUBIC" in table

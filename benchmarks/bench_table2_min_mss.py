@@ -1,24 +1,20 @@
-"""Table II: minimum segment sizes accepted by the probed Web servers."""
+"""Table II: minimum segment sizes accepted by the probed Web servers.
 
-from repro.analysis.tables import format_percentage_table
+Thin wrapper over the ``table2`` registry entry
+(:mod:`repro.experiments.definitions`).
+"""
 
-from benchmarks.bench_common import census_population, print_header, run_once
+from repro.experiments import get_experiment
 
-
-def build_table():
-    population = census_population()
-    shares = population.minimum_mss_shares()
-    rows = [(f"{mss} B", [100.0 * share]) for mss, share in sorted(shares.items())]
-    table = format_percentage_table(["Minimum MSS", "% of servers"], rows,
-                                    title="Table II: minimum segment sizes")
-    return table, shares
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_table2_minimum_mss(benchmark):
-    table, shares = run_once(benchmark, build_table)
+    experiment = get_experiment("table2")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Table II reproduction")
-    print(table)
+    print(experiment.render(payload))
     # Shape check from the paper: most servers accept an MSS of 100 B and a
     # non-trivial fraction requires something larger.
-    assert shares[100] > 0.6
-    assert sum(share for mss, share in shares.items() if mss > 100) > 0.05
+    assert payload["metrics"]["mss_100_share"] > 0.6
+    assert payload["metrics"]["mss_above_100_share"] > 0.05

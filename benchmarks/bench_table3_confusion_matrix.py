@@ -1,51 +1,26 @@
 """Table III: per-algorithm identification accuracy of the training vectors.
 
-The paper reports a 10-fold cross-validation confusion matrix with an overall
-accuracy of 96.98 % using the selected random forest parameters (80 trees,
-4 features per node).
+The paper reports a 10-fold cross-validation confusion matrix with an
+overall accuracy of 96.98 % using the selected random forest parameters
+(80 trees, 4 features per node). Thin wrapper over the ``table3`` registry
+entry (:mod:`repro.experiments.definitions`).
 """
 
 import numpy as np
 
-from repro.analysis.tables import format_table
-from repro.ml.random_forest import RandomForestClassifier
-from repro.ml.validation import cross_validate
+from repro.experiments import get_experiment
 
-from benchmarks.bench_common import current_scale, print_header, run_once, training_set
-
-
-def build_confusion():
-    scale = current_scale()
-    dataset = training_set()
-    result = cross_validate(
-        dataset,
-        lambda: RandomForestClassifier(n_trees=scale.forest_trees, max_features=4, seed=1),
-        n_folds=scale.cross_validation_folds,
-        seed=1,
-        description="random forest (paper parameters)")
-    return result
-
-
-def render(result) -> str:
-    matrix = result.confusion
-    percentages = matrix.row_percentages()
-    headers = ["true \\ predicted"] + matrix.labels
-    rows = []
-    for i, label in enumerate(matrix.labels):
-        rows.append([label] + [f"{percentages[i, j]:.1f}" for j in range(len(matrix.labels))])
-    return format_table(headers, rows,
-                        title="Table III: confusion matrix (row percentages)")
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_table3_confusion_matrix(benchmark):
-    result = run_once(benchmark, build_confusion)
+    experiment = get_experiment("table3")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Table III reproduction")
-    print(render(result))
-    per_class = result.confusion.per_class_accuracy()
-    print(f"\nOverall cross-validation accuracy: {result.accuracy * 100:.2f}% "
-          f"(paper: 96.98%)")
+    print(experiment.render(payload))
+    per_class = payload["per_class_accuracy"]
     print("Per-class accuracy:",
           {label: round(100 * value, 1) for label, value in sorted(per_class.items())})
     # Shape checks: high overall accuracy, near-diagonal confusion matrix.
-    assert result.accuracy > 0.85
+    assert payload["metrics"]["overall_accuracy"] > 0.85
     assert np.median(list(per_class.values())) > 0.85

@@ -1,52 +1,33 @@
 """Table IV: identification results of the Web-server census.
 
 The paper's headline numbers: only a small minority of servers still run
-RENO, about 46.9 % run BIC or CUBIC, CTCP-a is more common than CTCP-b, a few
-percent run non-default algorithms such as HTCP, and 4.3 % are "unsure".
+RENO, about 46.9 % run BIC or CUBIC, CTCP-a is more common than CTCP-b, a
+few percent run non-default algorithms such as HTCP, and 4.3 % are
+"unsure". Thin wrapper over the ``table4`` registry entry
+(:mod:`repro.experiments.definitions`).
 """
 
-from repro.analysis.tables import format_table
+from repro.experiments import get_experiment
 
-from benchmarks.bench_common import census_report, print_header, run_once
-
-
-def build_report():
-    return census_report()
-
-
-def render(report) -> str:
-    w_values = report.w_timeout_values()
-    headers = ["Category"] + [f"w={w}" for w in w_values] + ["Overall %"]
-    rows = []
-    for label, per_w, overall in report.table_rows():
-        rows.append([label] + [f"{per_w.get(w, 0.0):.2f}" for w in w_values]
-                    + [f"{overall:.2f}"])
-    return format_table(headers, rows, title="Table IV: census identification results "
-                                             "(percent of servers with valid traces)")
+from benchmarks.bench_common import bench_context, print_header, run_once
 
 
 def test_table4_census(benchmark):
-    report = run_once(benchmark, build_report)
+    experiment = get_experiment("table4")
+    payload = run_once(benchmark, lambda: experiment.compute(bench_context()))
     print_header("Table IV reproduction")
-    print(render(report))
-    print(f"\nServers probed: {len(report)}")
-    print(f"Valid-trace fraction: {report.valid_fraction() * 100:.1f}% (paper: 47%)")
+    print(experiment.render(payload))
+    metrics = payload["metrics"]
     print(f"w_timeout shares among valid: "
-          f"{ {w: round(100 * s, 1) for w, s in report.w_timeout_shares().items()} }")
-    low, high = report.reno_share_bounds()
-    print(f"RENO share bounds: {low:.2f}% .. {high:.2f}% (paper: 3.31% .. ~14%)")
-    print(f"BIC+CUBIC share: {report.bic_cubic_share():.2f}% (paper: 46.92%)")
-    print(f"CTCP share: {report.ctcp_share():.2f}%")
-    print(f"Ground-truth agreement of confident identifications: "
-          f"{report.accuracy_against_ground_truth() * 100:.1f}%")
+          f"{ {w: round(100 * s, 1) for w, s in payload['w_timeout_shares'].items()} }")
     print(f"Invalid-trace reasons: "
-          f"{ {k: round(100 * v, 1) for k, v in report.invalid_reason_shares().items()} }")
+          f"{ {k: round(100 * v, 1) for k, v in payload['invalid_reason_shares'].items()} }")
 
     # Qualitative conclusions of the paper that must hold.
-    percentages = report.category_percentages()
-    assert report.bic_cubic_share() > percentages.get("reno", 0.0), \
+    percentages = payload["category_percentages"]
+    assert metrics["bic_cubic_share"] > percentages.get("reno", 0.0), \
         "BIC/CUBIC must dominate RENO"
     assert percentages.get("ctcp-a", 0.0) >= percentages.get("ctcp-b", 0.0), \
         "the early CTCP version should be at least as common as the later one"
-    assert 0.2 < report.valid_fraction() < 0.95
-    assert report.accuracy_against_ground_truth() > 0.7
+    assert 0.2 < metrics["valid_fraction"] < 0.95
+    assert metrics["ground_truth_accuracy"] > 0.7

@@ -1,0 +1,109 @@
+"""CI check: the reproduction report regenerates cleanly and caches fully.
+
+Drives the real ``python -m repro.report`` command line end to end at the
+``smoke`` profile:
+
+1. runs every registered experiment into a fresh artifact directory;
+2. renders ``RESULTS.md`` and asserts every experiment's section is there;
+3. runs again and asserts a **100 % artifact-cache hit** (nothing
+   recomputes while the configuration/code fingerprints are unchanged);
+4. renders again and asserts the second document is **byte-identical**;
+5. checks ``status --json`` reports every artifact as current.
+
+Any deviation fails the build::
+
+    PYTHONPATH=src python benchmarks/check_report_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.registry import all_experiments
+
+PROFILE = "smoke"
+
+
+def run_cli(arguments: list[str], expect_exit: int = 0) -> None:
+    command = [sys.executable, "-m", "repro.report", *arguments]
+    print(f"$ {' '.join(command)}", flush=True)
+    environment = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    environment["PYTHONPATH"] = src + os.pathsep + environment.get("PYTHONPATH", "")
+    result = subprocess.run(command, env=environment)
+    if result.returncode != expect_exit:
+        raise SystemExit(f"FAIL: {' '.join(arguments)} exited "
+                         f"{result.returncode}, expected {expect_exit}")
+
+
+def load_statuses(path: Path) -> dict[str, str]:
+    summary = json.loads(path.read_text())
+    return {result["name"]: result["status"] for result in summary["results"]}
+
+
+def main() -> None:
+    experiments = all_experiments()
+    with tempfile.TemporaryDirectory() as scratch:
+        artifacts = str(Path(scratch) / "artifacts")
+        first_json = Path(scratch) / "run1.json"
+        second_json = Path(scratch) / "run2.json"
+        first_md = Path(scratch) / "RESULTS-1.md"
+        second_md = Path(scratch) / "RESULTS-2.md"
+
+        run_cli(["run", "--profile", PROFILE, "--artifacts", artifacts,
+                 "--json", str(first_json)])
+        statuses = load_statuses(first_json)
+        if sorted(statuses) != sorted(e.name for e in experiments):
+            raise SystemExit(f"FAIL: run covered {sorted(statuses)}, expected "
+                             f"every registered experiment")
+
+        run_cli(["render", "--profile", PROFILE, "--artifacts", artifacts,
+                 "--output", str(first_md)])
+        text = first_md.read_text(encoding="utf-8")
+        missing = [experiment.title for experiment in experiments
+                   if f"## {experiment.title}" not in text]
+        if missing:
+            raise SystemExit(f"FAIL: RESULTS.md is missing sections: {missing}")
+
+        # Second run must be a 100% cache hit.
+        run_cli(["run", "--profile", PROFILE, "--artifacts", artifacts,
+                 "--json", str(second_json)])
+        second_statuses = load_statuses(second_json)
+        recomputed = [name for name, status in second_statuses.items()
+                      if status != "cached"]
+        if recomputed:
+            raise SystemExit(f"FAIL: second run recomputed {recomputed} "
+                             "instead of hitting the artifact cache")
+
+        # Second render must be byte-identical.
+        run_cli(["render", "--profile", PROFILE, "--artifacts", artifacts,
+                 "--output", str(second_md)])
+        if first_md.read_bytes() != second_md.read_bytes():
+            raise SystemExit("FAIL: rendering twice from the same artifacts "
+                             "produced different documents")
+
+        # status must agree that everything is current.
+        status_out = subprocess.run(
+            [sys.executable, "-m", "repro.report", "status", "--profile",
+             PROFILE, "--artifacts", artifacts, "--json"],
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")
+                               + os.pathsep + os.environ.get("PYTHONPATH", "")},
+            capture_output=True, text=True, check=True)
+        states = {row["name"]: row["state"]
+                  for row in json.loads(status_out.stdout)["experiments"]}
+        stale = [name for name, state in states.items() if state != "current"]
+        if stale:
+            raise SystemExit(f"FAIL: status reports non-current artifacts: {stale}")
+
+    print(f"OK: {len(experiments)} experiments ran, rendered, fully "
+          "cache-hit on re-run, and re-rendered byte-identically")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,17 @@ class EmpiricalCdf:
 
     @classmethod
     def from_samples(cls, samples) -> "EmpiricalCdf":
+        """Build the empirical CDF of a sample.
+
+        Args:
+            samples: Any non-empty iterable of numbers.
+
+        Returns:
+            The CDF with values sorted ascending.
+
+        Raises:
+            ValueError: If the sample is empty.
+        """
         ordered = np.sort(np.asarray(list(samples), dtype=float))
         if len(ordered) == 0:
             raise ValueError("cannot build a CDF from an empty sample")
@@ -31,24 +42,61 @@ class EmpiricalCdf:
         return len(self.values)
 
     def fraction_below(self, threshold: float) -> float:
-        """P(X <= threshold)."""
+        """P(X <= threshold) under the empirical distribution.
+
+        Args:
+            threshold: The evaluation point.
+
+        Returns:
+            The fraction of samples at or below ``threshold``.
+        """
         return float(np.searchsorted(self.values, threshold, side="right") / len(self.values))
 
     def quantile(self, q: float) -> float:
-        """The q-quantile of the sample (0 <= q <= 1)."""
+        """The q-quantile of the sample.
+
+        Args:
+            q: Quantile level in ``[0, 1]``.
+
+        Returns:
+            The interpolated quantile value.
+
+        Raises:
+            ValueError: If ``q`` is outside ``[0, 1]``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         return float(np.quantile(self.values, q))
 
     def median(self) -> float:
+        """The sample median.
+
+        Returns:
+            The 0.5-quantile.
+        """
         return self.quantile(0.5)
 
     def evaluated_at(self, points) -> np.ndarray:
-        """CDF values at the given points."""
+        """CDF values at the given points.
+
+        Args:
+            points: Evaluation points (any array-like).
+
+        Returns:
+            One cumulative fraction per point.
+        """
         points = np.asarray(points, dtype=float)
         return np.searchsorted(self.values, points, side="right") / len(self.values)
 
     def max_difference(self, other: "EmpiricalCdf") -> float:
-        """Kolmogorov-Smirnov style maximum CDF difference against another CDF."""
+        """Kolmogorov-Smirnov style maximum CDF difference against another CDF.
+
+        Args:
+            other: The CDF to compare against.
+
+        Returns:
+            The maximum absolute difference over the union of both value
+            grids.
+        """
         grid = np.union1d(self.values, other.values)
         return float(np.max(np.abs(self.evaluated_at(grid) - other.evaluated_at(grid))))

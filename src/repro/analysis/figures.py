@@ -17,6 +17,14 @@ def cdf_series(samples, points=None) -> list[tuple[float, float]]:
 
     If ``points`` is given the CDF is evaluated at those values, which is how
     the benchmark harness prints a compact fixed grid for each CDF figure.
+
+    Args:
+        samples: Any non-empty iterable of numbers.
+        points: Optional evaluation grid; defaults to an evenly thinned
+            subset of the sample values.
+
+    Returns:
+        ``(value, cumulative fraction)`` pairs.
     """
     cdf = EmpiricalCdf.from_samples(samples)
     if points is None:
@@ -28,7 +36,15 @@ def cdf_series(samples, points=None) -> list[tuple[float, float]]:
 
 
 def summarize_cdf(samples, quantiles=(0.10, 0.25, 0.50, 0.75, 0.90, 0.99)) -> dict[float, float]:
-    """Return selected quantiles of a sample (used in EXPERIMENTS.md tables)."""
+    """Return selected quantiles of a sample.
+
+    Args:
+        samples: Any non-empty iterable of numbers.
+        quantiles: The quantile levels to evaluate.
+
+    Returns:
+        A ``{level: value}`` dict in ``quantiles`` order.
+    """
     cdf = EmpiricalCdf.from_samples(samples)
     return {float(q): cdf.quantile(q) for q in quantiles}
 
@@ -37,8 +53,19 @@ def ascii_series(values, width: int = 60, height: int = 12,
                  label: str = "") -> str:
     """Render a numeric series as a small ASCII chart.
 
-    Used by the benchmark harness to give a visual impression of the window
-    traces of Fig. 3 without any plotting dependency.
+    Used by the benchmark harness and the reproduction report to give a
+    visual impression of the window traces of Fig. 3 without any plotting
+    dependency.
+
+    Args:
+        values: The series to plot.
+        width: Maximum number of columns (one per series element).
+        height: Number of character rows.
+        label: Optional label printed above the chart.
+
+    Returns:
+        The chart as a multi-line string (``"(empty series)"`` for an
+        empty input).
     """
     values = [float(v) for v in values]
     if not values:

@@ -1,5 +1,7 @@
 """Command-line entry points.
 
-Each submodule implements one console tool; :mod:`repro.cli.census` backs
-``python -m repro.census`` (sharded, checkpointed census runs).
+Each submodule implements one console tool: :mod:`repro.cli.census` backs
+``python -m repro.census`` (sharded, checkpointed census runs) and
+:mod:`repro.cli.report` backs ``python -m repro.report`` (the experiment
+registry and the paper-reproduction report).
 """

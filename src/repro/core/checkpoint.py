@@ -59,6 +59,34 @@ class CheckpointError(RuntimeError):
     """A checkpoint directory is missing, corrupt, or from a different run."""
 
 
+def write_json_atomic(path: str | Path, payload: dict) -> None:
+    """Durably replace ``path`` with a JSON document (write temp + rename).
+
+    The temp file is fsynced before the rename and the directory is fsynced
+    after it, so a crash at any point leaves either the old file or the new
+    one — never a torn manifest. Shared by the census checkpoint and the
+    experiment artifact store (:mod:`repro.experiments.store`).
+
+    Args:
+        path: Destination file path.
+        payload: JSON-serialisable manifest content.
+    """
+    path = Path(path)
+    temp = path.with_suffix(path.suffix + ".tmp")
+    with open(temp, "w", encoding="utf-8") as stream:
+        stream.write(json.dumps(payload, indent=2, sort_keys=True))
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temp, path)
+    # Persist the rename itself, so a power loss cannot leave an empty
+    # manifest pointing at durably written data files.
+    directory_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
 def shard_of(server_id: str, seed: int, num_shards: int) -> int:
     """Stable shard assignment for one server, keyed off the run seed.
 
@@ -400,20 +428,7 @@ class CensusCheckpoint:
 
     def _write_manifest(self) -> None:
         """Atomically rewrite the manifest (write + fsync temp, then rename)."""
-        path = self.directory / MANIFEST_NAME
-        temp = path.with_suffix(".json.tmp")
-        with open(temp, "w", encoding="utf-8") as stream:
-            stream.write(json.dumps(self.manifest, indent=2, sort_keys=True))
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(temp, path)
-        # Persist the rename itself, so a power loss cannot leave an empty
-        # manifest pointing at durably written shard files.
-        directory_fd = os.open(self.directory, os.O_RDONLY)
-        try:
-            os.fsync(directory_fd)
-        finally:
-            os.close(directory_fd)
+        write_json_atomic(self.directory / MANIFEST_NAME, self.manifest)
 
     # -------------------------------------------------------------- reading
     def load_shard(self, shard_index: int) -> list[tuple[int, ServerOutcome]]:

@@ -189,6 +189,17 @@ class RandomForestClassifier:
     _stacked: _StackedForest | None = field(default=None, init=False, repr=False)
 
     def fit(self, dataset: LabeledDataset) -> "RandomForestClassifier":
+        """Grow the forest on bootstrap resamples of ``dataset``.
+
+        Args:
+            dataset: The labelled training set.
+
+        Returns:
+            ``self``, for chaining.
+
+        Raises:
+            ValueError: If ``n_trees`` or ``max_features`` is below one.
+        """
         if self.n_trees < 1:
             raise ValueError("a forest needs at least one tree")
         if self.max_features < 1:
@@ -218,7 +229,19 @@ class RandomForestClassifier:
 
     # -------------------------------------------------------------- predict
     def vote_matrix(self, features: np.ndarray) -> np.ndarray:
-        """Vote counts, shape ``(n_samples, n_classes)``, columns in :meth:`classes` order."""
+        """Count every tree's vote for a whole sample matrix in one pass.
+
+        Args:
+            features: ``(n_samples, n_features)`` matrix (a single vector
+                is promoted to one row).
+
+        Returns:
+            Integer vote counts, shape ``(n_samples, n_classes)``, columns
+            in :meth:`classes` order.
+
+        Raises:
+            RuntimeError: If the forest has not been fitted.
+        """
         if not self._trees:
             raise RuntimeError("classifier has not been fitted")
         features = np.atleast_2d(np.ascontiguousarray(features, dtype=float))
@@ -233,7 +256,15 @@ class RandomForestClassifier:
                            minlength=n * n_classes).reshape(n, n_classes)
 
     def vote_many(self, features: np.ndarray) -> list[VoteResult]:
-        """Classify a whole matrix, returning one :class:`VoteResult` per row."""
+        """Classify a whole matrix, returning one :class:`VoteResult` per row.
+
+        Args:
+            features: ``(n_samples, n_features)`` matrix.
+
+        Returns:
+            One :class:`VoteResult` (winner, confidence, vote dict) per
+            row, in input order.
+        """
         votes = self.vote_matrix(features)
         winners = _winning_columns(votes)
         results: list[VoteResult] = []
@@ -246,11 +277,28 @@ class RandomForestClassifier:
         return results
 
     def vote_one(self, vector: np.ndarray) -> VoteResult:
-        """Classify one vector, returning the winner and its vote fraction."""
+        """Classify one vector, returning the winner and its vote fraction.
+
+        Args:
+            vector: One feature vector.
+
+        Returns:
+            The :class:`VoteResult` of the forest vote.
+        """
         return self.vote_many(np.atleast_2d(np.asarray(vector, dtype=float)))[0]
 
     def vote_one_reference(self, vector: np.ndarray) -> VoteResult:
-        """Reference vote walking every tree per sample (kept for parity tests)."""
+        """Reference vote walking every tree per sample (kept for parity tests).
+
+        Args:
+            vector: One feature vector.
+
+        Returns:
+            The :class:`VoteResult`, identical to :meth:`vote_one`.
+
+        Raises:
+            RuntimeError: If the forest has not been fitted.
+        """
         if not self._trees:
             raise RuntimeError("classifier has not been fitted")
         votes: dict[str, int] = {}
@@ -262,22 +310,52 @@ class RandomForestClassifier:
         return VoteResult(label=winner, confidence=confidence, votes=votes)
 
     def predict_one(self, vector: np.ndarray) -> str:
+        """Predicted class label of one vector.
+
+        Args:
+            vector: One feature vector.
+
+        Returns:
+            The majority-vote class label.
+        """
         return self.vote_one(vector).label
 
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels for a whole sample matrix.
+
+        Args:
+            features: ``(n_samples, n_features)`` matrix.
+
+        Returns:
+            An object array of class labels, one per row.
+        """
         votes = self.vote_matrix(features)
         classes = np.array(self._classes, dtype=object)
         return classes[_winning_columns(votes)]
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        """Per-class vote fractions, columns ordered by :meth:`classes`."""
+        """Per-class vote fractions for a whole sample matrix.
+
+        Args:
+            features: ``(n_samples, n_features)`` matrix.
+
+        Returns:
+            Float matrix of vote fractions, columns in :meth:`classes`
+            order; rows sum to one.
+        """
         return self.vote_matrix(features) / len(self._trees)
 
     def classes(self) -> list[str]:
+        """The fitted class labels, sorted.
+
+        Returns:
+            A copy of the forest's class-label list.
+        """
         return list(self._classes)
 
     @property
     def trees(self) -> list[DecisionTreeClassifier]:
+        """The fitted member trees (a copy of the internal list)."""
         return list(self._trees)
 
 

@@ -1,0 +1,10 @@
+"""``python -m repro.report`` — the paper-reproduction command line.
+
+This package only hosts the module entry point; the implementation lives in
+:mod:`repro.cli.report` and the experiment registry itself in
+:mod:`repro.experiments`.
+"""
+
+from repro.cli.report import main
+
+__all__ = ["main"]

@@ -1,0 +1,8 @@
+"""Entry point of ``python -m repro.report``."""
+
+import sys
+
+from repro.cli.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -231,40 +231,60 @@ class TcpSender:
     # ------------------------------------------------------------------ data
     @property
     def total_packets(self) -> int:
+        """Number of MSS-grid packets the enqueued byte stream spans."""
         return -(-self._total_bytes // self.config.mss) if self._total_bytes else 0
 
     @property
     def snd_una(self) -> int:
+        """First unacknowledged packet index (the cumulative ACK point)."""
         return self._snd_una
 
     @property
     def snd_nxt(self) -> int:
+        """Next packet index to be sent for the first time."""
         return self._snd_nxt
 
     @property
     def bytes_available(self) -> int:
+        """Total application bytes enqueued so far."""
         return self._total_bytes
 
     @property
     def timeouts(self) -> list[TimeoutEvent]:
+        """Retransmission timeouts fired so far, in firing order."""
         return list(self._finished_timeouts)
 
     @property
     def spurious_timeouts(self) -> int:
+        """Timeouts later detected as spurious by F-RTO."""
         return self._spurious_timeouts
 
     def enqueue_bytes(self, nbytes: int) -> None:
-        """Append application data (an HTTP response) to the send stream."""
+        """Append application data (an HTTP response) to the send stream.
+
+        Args:
+            nbytes: Number of bytes to append; must be non-negative.
+        """
         if nbytes < 0:
             raise ValueError("cannot enqueue a negative number of bytes")
         self._total_bytes += nbytes
 
     def all_data_acked(self) -> bool:
+        """Whether every enqueued byte has been cumulatively acknowledged.
+
+        Returns:
+            True once data exists and the ACK point covers all of it.
+        """
         return self._snd_una >= self.total_packets and self.total_packets > 0
 
     # ----------------------------------------------------------------- clock
     def next_timer_deadline(self) -> float | None:
-        """Return the absolute time of the pending RTO, if a timer is armed."""
+        """Absolute time of the pending retransmission timeout, if armed.
+
+        Returns:
+            The deadline in simulation seconds, or ``None`` when no timer
+            is armed.
+        """
         return self._timer_deadline
 
     @property
@@ -282,11 +302,26 @@ class TcpSender:
 
     # ----------------------------------------------------------------- start
     def start(self, now: float) -> list[Segment]:
-        """Transmit the initial window once the first request has been read."""
+        """Transmit the initial window once the first request has been read.
+
+        Args:
+            now: Current simulation time.
+
+        Returns:
+            The transmitted segments (empty on a repeated call).
+        """
         return self._expand(self.start_native(now))
 
     def start_native(self, now: float) -> list:
-        """:meth:`start`, returning the native emission (blocks or segments)."""
+        """:meth:`start`, returning the native emission (blocks or segments).
+
+        Args:
+            now: Current simulation time.
+
+        Returns:
+            :class:`SegmentBlock` records when block emission is enabled,
+            else :class:`Segment` objects.
+        """
         if self._started:
             return []
         self._started = True
@@ -299,12 +334,27 @@ class TcpSender:
     def on_ack(self, ack_seq: int, now: float, *, is_duplicate: bool = False) -> list[Segment]:
         """Process a cumulative ACK for all bytes below ``ack_seq``.
 
-        Returns the segments the sender transmits in response.
+        Args:
+            ack_seq: Cumulative byte sequence number being acknowledged.
+            now: Current simulation time.
+            is_duplicate: Whether the receiver flagged this as a duplicate.
+
+        Returns:
+            The segments the sender transmits in response.
         """
         return self._expand(self.on_ack_native(ack_seq, now, is_duplicate=is_duplicate))
 
     def on_ack_native(self, ack_seq: int, now: float, *, is_duplicate: bool = False) -> list:
-        """:meth:`on_ack`, returning the native emission (blocks or segments)."""
+        """:meth:`on_ack`, returning the native emission (blocks or segments).
+
+        Args:
+            ack_seq: Cumulative byte sequence number being acknowledged.
+            now: Current simulation time.
+            is_duplicate: Whether the receiver flagged this as a duplicate.
+
+        Returns:
+            The native emission records transmitted in response.
+        """
         ack_packets = ack_seq // self.config.mss
         if ack_seq >= self._total_bytes and self._total_bytes > 0:
             ack_packets = max(ack_packets, self.total_packets)
@@ -320,6 +370,14 @@ class TcpSender:
         i.e. the value ``on_ack`` derives from a byte sequence number; the
         block-level gatherer works in packet units throughout, so this entry
         point skips the byte conversion.
+
+        Args:
+            ack_packets: Count of fully acknowledged packets.
+            now: Current simulation time.
+            is_duplicate: Whether the receiver flagged this as a duplicate.
+
+        Returns:
+            The native emission records transmitted in response.
         """
         if is_duplicate or ack_packets <= self._snd_una:
             return self._on_duplicate_ack(now)
@@ -337,11 +395,28 @@ class TcpSender:
         scalar per-ACK engine before the fast path re-engages, so every trace
         is bit-identical either way (the batch/scalar parity test matrix
         enforces this).
+
+        Args:
+            ack_values: The round's cumulative byte ACK values, in arrival
+                order.
+            now: Current simulation time.
+
+        Returns:
+            The segments the sender transmits in response to the whole run.
         """
         return self._expand(self.on_ack_run_native(ack_values, now))
 
     def on_ack_run_native(self, ack_values: Sequence[int], now: float) -> list:
-        """:meth:`on_ack_run`, returning the native emission."""
+        """:meth:`on_ack_run`, returning the native emission.
+
+        Args:
+            ack_values: The round's cumulative byte ACK values, in arrival
+                order.
+            now: Current simulation time.
+
+        Returns:
+            The native emission records transmitted in response.
+        """
         out: list = []
         n = len(ack_values)
         index = 0
@@ -368,6 +443,14 @@ class TcpSender:
         them to :meth:`on_ack_run` / :meth:`on_ack`: clean stretches take the
         batched fast path in O(1) bookkeeping per run (no per-ACK prefix
         scan), everything else replays through the scalar engine.
+
+        Args:
+            runs: The compressed ladder: ``("seq", first, count)`` and
+                ``("rep", value, count)`` tuples in ladder order.
+            now: Current simulation time.
+
+        Returns:
+            The native emission records transmitted in response.
         """
         out: list = []
         for kind, value, count in runs:
@@ -1038,7 +1121,12 @@ class TcpSender:
 
     # ------------------------------------------------------------------ send
     def effective_window(self) -> float:
-        """Window actually usable for transmission, in packets."""
+        """Window actually usable for transmission, in packets.
+
+        Returns:
+            The congestion window clamped by the receive window, the send
+            buffer, and the post-timeout-stall quirk.
+        """
         window = self.state.cwnd
         rwnd_packets = self.config.receive_window_bytes / self.config.mss
         window = min(window, rwnd_packets)
@@ -1094,11 +1182,26 @@ class TcpSender:
         self._timer_deadline = now + self.rto.current_rto()
 
     def on_timer(self, now: float) -> list[Segment]:
-        """Fire the retransmission timer if it has expired."""
+        """Fire the retransmission timer if it has expired.
+
+        Args:
+            now: Current simulation time.
+
+        Returns:
+            The retransmitted segments (empty if the timer has not
+            expired or the server never retransmits).
+        """
         return self._expand(self.on_timer_native(now))
 
     def on_timer_native(self, now: float) -> list:
-        """:meth:`on_timer`, returning the native emission."""
+        """:meth:`on_timer`, returning the native emission.
+
+        Args:
+            now: Current simulation time.
+
+        Returns:
+            The native emission records of the retransmission, if any.
+        """
         if self._timer_deadline is None or now < self._timer_deadline:
             return []
         if not self.config.responds_to_timeout:
@@ -1132,7 +1235,12 @@ class TcpSender:
 
     # ------------------------------------------------------------- inspection
     def snapshot(self) -> dict[str, float]:
-        """Small diagnostic snapshot used by examples and tests."""
+        """Small diagnostic snapshot used by examples and tests.
+
+        Returns:
+            The current cwnd, ssthresh, ACK point, send point and RTT
+            estimates as a plain dict.
+        """
         return {
             "cwnd": self.state.cwnd,
             "ssthresh": self.state.ssthresh,

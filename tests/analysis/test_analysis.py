@@ -5,7 +5,11 @@ import pytest
 
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.figures import ascii_series, cdf_series, summarize_cdf
-from repro.analysis.tables import format_percentage_table, format_table
+from repro.analysis.tables import (
+    format_markdown_table,
+    format_percentage_table,
+    format_table,
+)
 
 
 class TestEmpiricalCdf:
@@ -47,18 +51,56 @@ class TestFigureHelpers:
         series = cdf_series([1, 2, 3, 4], points=[0, 2, 5])
         assert series == [(0.0, 0.0), (2.0, 0.5), (5.0, 1.0)]
 
+    def test_cdf_series_default_grid_is_thinned_and_monotone(self):
+        series = cdf_series(range(200))
+        assert len(series) <= 67  # 200 samples thinned by step 4
+        values = [value for value, _ in series]
+        fractions = [fraction for _, fraction in series]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert all(0.0 < fraction <= 1.0 for fraction in fractions)
+
     def test_summary_quantiles(self):
         summary = summarize_cdf(range(101), quantiles=(0.5, 0.9))
         assert summary[0.5] == pytest.approx(50)
         assert summary[0.9] == pytest.approx(90)
+
+    def test_summary_default_quantiles(self):
+        summary = summarize_cdf(range(101))
+        assert list(summary) == [0.10, 0.25, 0.50, 0.75, 0.90, 0.99]
 
     def test_ascii_series_renders(self):
         art = ascii_series([1, 2, 4, 8, 16], label="demo")
         assert "demo" in art
         assert "#" in art
 
+    def test_ascii_series_dimensions(self):
+        art = ascii_series(list(range(1, 100)), width=40, height=7,
+                           label="dims")
+        lines = art.splitlines()
+        assert len(lines) == 1 + 7 + 1  # header + chart rows + axis
+        chart = lines[1:-1]
+        assert all(len(line) == 40 for line in chart)  # width truncation
+        assert lines[-1] == "-" * 40
+
+    def test_ascii_series_rising_shape(self):
+        art = ascii_series(list(range(1, 41)), width=40, height=7)
+        chart = art.splitlines()[:-1]  # no label -> chart rows + axis
+        # The tallest column is at the right edge; the top level holds only
+        # the maximum, the bottom level excludes the smallest values.
+        assert chart[0][-1] == "#" and chart[0][0] == " "
+        assert chart[-1][-1] == "#" and chart[-1][0] == " "
+
+    def test_ascii_series_max_in_header(self):
+        art = ascii_series([3.0, 9.0], label="peak")
+        assert "max=9" in art and "rounds=2" in art
+
     def test_ascii_series_empty(self):
         assert ascii_series([]) == "(empty series)"
+
+    def test_ascii_series_all_zero_series_renders_blank_chart(self):
+        art = ascii_series([0.0, 0.0, 0.0])
+        assert "#" not in art
 
 
 class TestTables:
@@ -77,3 +119,35 @@ class TestTables:
     def test_percentage_table(self):
         text = format_percentage_table(["algo", "overall"], [("RENO", [3.312])])
         assert "3.31" in text
+
+    def test_percentage_table_decimals(self):
+        text = format_percentage_table(["algo", "overall"], [("RENO", [3.312])],
+                                       decimals=1)
+        assert "3.3" in text and "3.31" not in text
+
+    def test_table_without_title_has_no_title_line(self):
+        lines = format_table(["a"], [["x"]]).splitlines()
+        assert lines[0] == "a"
+
+    def test_non_float_cells_are_stringified(self):
+        text = format_table(["k", "v"], [["count", 3], ["flag", True]])
+        assert "3" in text and "True" in text
+
+
+class TestMarkdownTables:
+    def test_structure(self):
+        text = format_markdown_table(["name", "value"],
+                                     [["a", 1.0], ["b", 22.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| a | 1.00 |"
+        assert lines[3] == "| b | 22.50 |"
+
+    def test_pipes_are_escaped(self):
+        text = format_markdown_table(["label"], [["a|b"]])
+        assert "a\\|b" in text
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [["only-one"]])

@@ -1,11 +1,14 @@
 """Docstring enforcement for the public API surface.
 
-The five classes a new contributor meets first (the census runner, the
-training-set builder, the classifier, the trace gatherer and the parallel
-executor) must stay fully documented: every public method and property needs
-a one-line summary, and methods that take arguments or return values need
-Google-style ``Args:`` / ``Returns:`` sections. This test fails with the
-exact list of offenders, so the docs debt cannot silently regrow.
+The classes a new contributor meets first (the census runner, the
+training-set builder, the classifier, the trace gatherer, the parallel
+executor, the TCP sender, the random forest and the experiment-registry
+API) must stay fully documented: every public method and property needs a
+one-line summary, and methods that take arguments or return values need
+Google-style ``Args:`` / ``Returns:`` sections. The same rules apply to the
+module-level entry points of the ``analysis`` and ``experiments`` packages.
+This test fails with the exact list of offenders, so the docs debt cannot
+silently regrow.
 """
 
 from __future__ import annotations
@@ -14,14 +17,41 @@ import inspect
 
 import pytest
 
+from repro.analysis import figures, tables
+from repro.analysis.cdf import EmpiricalCdf
 from repro.core.census import CensusRunner
 from repro.core.classifier import CaaiClassifier
 from repro.core.gather import TraceGatherer
 from repro.core.training import TrainingSetBuilder
+from repro.experiments import registry, render
+from repro.experiments.resources import ResourcePool
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ArtifactStore
+from repro.ml.random_forest import RandomForestClassifier
 from repro.parallel import ParallelExecutor
+from repro.tcp.connection import TcpSender
 
 PUBLIC_CLASSES = [CensusRunner, TrainingSetBuilder, CaaiClassifier,
-                  TraceGatherer, ParallelExecutor]
+                  TraceGatherer, ParallelExecutor, TcpSender,
+                  RandomForestClassifier, EmpiricalCdf,
+                  ExperimentRunner, ArtifactStore, ResourcePool]
+
+#: Module-level entry points held to the same Args/Returns standard.
+PUBLIC_FUNCTIONS = [
+    figures.ascii_series,
+    figures.cdf_series,
+    figures.summarize_cdf,
+    tables.format_markdown_table,
+    tables.format_percentage_table,
+    tables.format_table,
+    registry.all_experiments,
+    registry.experiment_fingerprint,
+    registry.experiment_names,
+    registry.get_experiment,
+    registry.register,
+    render.render_markdown,
+    render.render_to_file,
+]
 
 
 def _public_members(cls):
@@ -81,8 +111,32 @@ def _docstring_problems(cls) -> list[str]:
     return problems
 
 
+def _function_problems(function) -> list[str]:
+    where = f"{function.__module__}.{function.__name__}"
+    doc = inspect.getdoc(function) or ""
+    problems = []
+    if not doc.strip():
+        return [f"{where}: docstring missing"]
+    summary = doc.strip().splitlines()[0].strip()
+    if not summary.endswith((".", "!", "?")):
+        problems.append(f"{where}: first line must be a one-sentence "
+                        f"summary ending with a period, got {summary!r}")
+    if _parameters_beyond_self(function) and "Args:" not in doc:
+        problems.append(f"{where}: takes arguments but has no 'Args:' section")
+    if _returns_value(function) and "Returns:" not in doc:
+        problems.append(f"{where}: returns a value but has no 'Returns:' section")
+    return problems
+
+
 @pytest.mark.parametrize("cls", PUBLIC_CLASSES,
                          ids=lambda cls: cls.__name__)
 def test_public_api_is_documented(cls):
     problems = _docstring_problems(cls)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("function", PUBLIC_FUNCTIONS,
+                         ids=lambda f: f"{f.__module__}.{f.__name__}")
+def test_public_functions_are_documented(function):
+    problems = _function_problems(function)
     assert not problems, "\n".join(problems)

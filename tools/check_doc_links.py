@@ -1,9 +1,11 @@
 """CI check: every relative link in the documentation resolves.
 
-Scans ``README.md`` and ``docs/*.md`` for Markdown links and inline-code
-path references, and fails with the full offender list if any relative link
-points at a file that does not exist. External (``http``/``https``/
-``mailto``) links are not fetched — CI must not depend on the network.
+Scans ``README.md`` and ``docs/*.md`` for Markdown links **and inline-code
+path references** (backtick spans that name a repository path, e.g.
+```` `src/repro/experiments/` ````), and fails with the full offender list
+if any of them points at a file that does not exist. External
+(``http``/``https``/``mailto``) links are not fetched — CI must not depend
+on the network.
 
 Usage::
 
@@ -20,6 +22,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: ``[text](target)`` Markdown links; images share the syntax.
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backtick spans whose content is a repository path: they must start with
+#: one of the repo's top-level directories and contain only path characters.
+#: Spans with glob characters or spaces (shell commands) are not checked.
+CODE_PATH_PATTERN = re.compile(
+    r"`((?:src|docs|tests|tools|benchmarks|examples)/[A-Za-z0-9_./-]+)`")
 
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
 
@@ -46,6 +54,15 @@ def check_file(path: Path) -> list[str]:
                 problems.append(
                     f"{path.relative_to(REPO_ROOT)}:{line_number}: broken "
                     f"link {target!r} (no such file {relative!r})")
+        for match in CODE_PATH_PATTERN.finditer(line):
+            reference = match.group(1)
+            # Inline-code paths are repo-root relative regardless of which
+            # document mentions them.
+            if not (REPO_ROOT / reference).exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line_number}: broken "
+                    f"inline-code path reference `{reference}` "
+                    "(no such file in the repository)")
     return problems
 
 
