@@ -1,0 +1,77 @@
+"""CI check: the columnar cohort engine never changes a census outcome.
+
+The columnar multi-probe engine advances whole cohorts of probe sessions in
+lock-step, with per-round fallback to the scalar gatherer whenever a lane
+diverges. Its contract is bit-identical results *and* bit-identical rng
+stream consumption, so flipping ``REPRO_COLUMNAR`` must be invisible in any
+report. The parity matrices in ``tests/core/test_columnar_parity.py`` cover
+the engine unit by unit; this check exercises the full census pipeline --
+crawler, MSS negotiation, the w_timeout ladder, special cases, classifier --
+over a 50-server population with the engine on and off, and fails loudly if
+any outcome differs::
+
+    PYTHONPATH=src python benchmarks/check_columnar_parity.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.classifier import CaaiClassifier
+from repro.core.columnar import COLUMNAR_ENV
+from repro.core.training import TrainingSetBuilder
+from repro.net.conditions import default_condition_database
+from repro.web.population import PopulationConfig, ServerPopulation
+
+CENSUS_SIZE = 50
+
+
+def run_census(classifier: CaaiClassifier, columnar: bool):
+    # A fresh population per run: web servers are stateful across probes
+    # (ssthresh caches, connection counters), so sharing one would leak the
+    # first run's state into the second regardless of the engine under test.
+    population = ServerPopulation(PopulationConfig(size=CENSUS_SIZE, seed=424))
+    population.generate()
+    runner = CensusRunner(classifier, CensusConfig(seed=17, backend="serial"))
+    os.environ[COLUMNAR_ENV] = "1" if columnar else "0"
+    try:
+        start = time.perf_counter()
+        report = runner.run(population)
+        return report, time.perf_counter() - start
+    finally:
+        os.environ.pop(COLUMNAR_ENV, None)
+
+
+def main() -> None:
+    print("training a small classifier ...", flush=True)
+    builder = TrainingSetBuilder(
+        conditions_per_pair=2, seed=31, w_timeouts=(64,),
+        algorithms=("reno", "cubic-b", "vegas", "westwood"),
+        condition_database=default_condition_database(size=200, seed=9))
+    classifier = CaaiClassifier(n_trees=20, seed=5)
+    classifier.train(builder.build_dataset())
+
+    print(f"running census({CENSUS_SIZE}) columnar vs scalar ...", flush=True)
+    columnar_report, columnar_seconds = run_census(classifier, columnar=True)
+    scalar_report, scalar_seconds = run_census(classifier, columnar=False)
+
+    if len(columnar_report) != len(scalar_report):
+        raise SystemExit("FAIL: report sizes differ across the columnar knob")
+    if columnar_report.outcomes != scalar_report.outcomes:
+        diverging = [
+            (cohort.server_id, cohort.category, scalar.category)
+            for cohort, scalar in zip(columnar_report.outcomes,
+                                      scalar_report.outcomes)
+            if cohort != scalar]
+        raise SystemExit(
+            f"FAIL: {len(diverging)} outcomes differ across the columnar "
+            f"knob (first: {diverging[:3]})")
+    print(f"OK: {len(columnar_report)} outcomes bit-identical "
+          f"(columnar {columnar_seconds:.2f}s, scalar {scalar_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

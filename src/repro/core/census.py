@@ -38,6 +38,12 @@ from repro.core.checkpoint import (
     shard_assignments,
 )
 from repro.core.classifier import CaaiClassifier
+from repro.core.columnar import (
+    ColumnarProbeEngine,
+    LadderLane,
+    columnar_cohort_size,
+    columnar_enabled,
+)
 from repro.core.gather import negotiate_probe_mss, probe_with_w_timeout_ladder
 from repro.core.labels import UNSURE
 from repro.core.results import CensusReport, ServerOutcome
@@ -65,14 +71,13 @@ class CensusConfig:
     max_workers: int | None = None
 
 
-def probe_server(record: ServerRecord, crawler: PageSearchTool,
-                 config: CensusConfig,
-                 rng: np.random.Generator) -> tuple[ServerOutcome, ProbeTrace | None]:
-    """Steps 1-4 for one server: crawl, negotiate, probe, pre-categorise.
+def _prepare_probe(record: ServerRecord, crawler: PageSearchTool,
+                   config: CensusConfig) -> tuple[ServerOutcome, int | None]:
+    """Steps 1-2 for one server: crawl and MSS negotiation.
 
-    Returns the partially filled outcome plus the probe when the outcome still
-    needs the classification phase (``None`` otherwise). Module-level so
-    worker processes can run it without shipping the trained forest.
+    Returns the partially filled outcome plus the negotiated MSS (``None``
+    when the server rejects CAAI's whole MSS ladder, in which case the
+    outcome is already final).
     """
     server = record.server
     profile = record.profile
@@ -97,12 +102,12 @@ def probe_server(record: ServerRecord, crawler: PageSearchTool,
         outcome.invalid_reason = InvalidReason.MSS_REJECTED
         return outcome, None
     outcome.mss = mss
+    return outcome, mss
 
-    # Step 3: probe with the w_timeout ladder.
-    probe = probe_with_w_timeout_ladder(
-        server, record.condition, rng, mss,
-        server_id=profile.server_id,
-        wait_between_environments=config.wait_between_environments)
+
+def _finish_probe(outcome: ServerOutcome, probe: ProbeTrace,
+                  profile) -> tuple[ServerOutcome, ProbeTrace | None]:
+    """Step 4 for one finished probe: validity check and pre-categorisation."""
     if not probe.usable_for_features:
         outcome.invalid_reason = _invalid_reason(probe, profile)
         return outcome, None
@@ -110,8 +115,8 @@ def probe_server(record: ServerRecord, crawler: PageSearchTool,
     outcome.valid = True
     outcome.w_timeout = probe.w_timeout
 
-    # Step 4: traces with no congestion-avoidance growth at all never occur
-    # on the testbed and are filtered out before classification.
+    # Traces with no congestion-avoidance growth at all never occur on the
+    # testbed and are filtered out before classification.
     special = detect_stalled_case(probe)
     if special is not None:
         outcome.special_case = special
@@ -119,6 +124,27 @@ def probe_server(record: ServerRecord, crawler: PageSearchTool,
         return outcome, None
 
     return outcome, probe
+
+
+def probe_server(record: ServerRecord, crawler: PageSearchTool,
+                 config: CensusConfig,
+                 rng: np.random.Generator) -> tuple[ServerOutcome, ProbeTrace | None]:
+    """Steps 1-4 for one server: crawl, negotiate, probe, pre-categorise.
+
+    Returns the partially filled outcome plus the probe when the outcome still
+    needs the classification phase (``None`` otherwise). Module-level so
+    worker processes can run it without shipping the trained forest.
+    """
+    outcome, mss = _prepare_probe(record, crawler, config)
+    if mss is None:
+        return outcome, None
+
+    # Step 3: probe with the w_timeout ladder.
+    probe = probe_with_w_timeout_ladder(
+        record.server, record.condition, rng, mss,
+        server_id=record.profile.server_id,
+        wait_between_environments=config.wait_between_environments)
+    return _finish_probe(outcome, probe, record.profile)
 
 
 def _validate_stop_after(stop_after_shards: int | None) -> None:
@@ -153,6 +179,38 @@ def _probe_task(task: tuple[ServerRecord, np.random.SeedSequence]
     record, seed = task
     return probe_server(record, _PROBE_WORKER["crawler"], _PROBE_WORKER["config"],
                         np.random.default_rng(seed))
+
+
+def _probe_chunk_task(tasks: list[tuple[ServerRecord, np.random.SeedSequence]]
+                      ) -> list[tuple[ServerOutcome, ProbeTrace | None]]:
+    """Steps 1-4 for one cohort of servers via the columnar engine.
+
+    Each server still draws from its own seed-derived stream, fed strictly
+    sequentially through its ladder lane, so the outcomes are bit-identical
+    to running :func:`probe_server` per record -- the cohort only changes
+    *where* the clean-round arithmetic executes.
+    """
+    config = _PROBE_WORKER["config"]
+    crawler = _PROBE_WORKER["crawler"]
+    prepared: list[tuple[ServerOutcome, LadderLane | None, ServerRecord]] = []
+    lanes: list[LadderLane] = []
+    for record, seed in tasks:
+        outcome, mss = _prepare_probe(record, crawler, config)
+        if mss is None:
+            prepared.append((outcome, None, record))
+            continue
+        lane = LadderLane(record.server, record.condition,
+                          np.random.default_rng(seed), mss,
+                          server_id=record.profile.server_id,
+                          wait_between_environments=config.wait_between_environments)
+        prepared.append((outcome, lane, record))
+        lanes.append(lane)
+    ColumnarProbeEngine().run(lanes)
+    return [
+        (outcome, None) if lane is None
+        else _finish_probe(outcome, lane.result, record.profile)
+        for outcome, lane, record in prepared
+    ]
 
 
 @dataclass
@@ -337,9 +395,20 @@ class CensusRunner:
         if seeds is None:
             seeds = task_seeds(self.config.seed, len(records))
         tasks = [(records[i], seeds[i]) for i in indices]
-        partials = executor.map(_probe_task, tasks,
-                                initializer=_init_probe_worker,
-                                initargs=(self.config,))
+        if columnar_enabled():
+            # Chunk the probe phase into cohorts for the columnar engine;
+            # per-record seeding keeps the outcomes bit-identical to the
+            # per-server path whatever the cohort size or backend.
+            size = columnar_cohort_size()
+            chunks = [tasks[lo:lo + size] for lo in range(0, len(tasks), size)]
+            per_chunk = executor.map(_probe_chunk_task, chunks,
+                                     initializer=_init_probe_worker,
+                                     initargs=(self.config,))
+            partials = [pair for chunk in per_chunk for pair in chunk]
+        else:
+            partials = executor.map(_probe_task, tasks,
+                                    initializer=_init_probe_worker,
+                                    initargs=(self.config,))
         pending = [(outcome, probe) for outcome, probe in partials if probe is not None]
         self._classify_pending(pending)
         return [outcome for outcome, _ in partials]

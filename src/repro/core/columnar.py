@@ -1,0 +1,1002 @@
+"""Columnar multi-probe engine: lock-step cohorts of probe sessions.
+
+The fourth engine tier. PR 2 batched a round's ACKs into closed forms, PR 3
+removed per-packet objects from the probe pipeline; both still step one probe
+state machine at a time, so a census is a Python loop over tens of thousands
+of sessions. This engine runs a *cohort* of sessions in lock-step: each
+engine step advances every session by one ACK-ladder round, with the round's
+arithmetic — RTT estimation, slow-start growth, congestion-avoidance kernels,
+window estimates, transmission caps, RTO arming — executed once per *cohort*
+on numpy columns instead of once per session.
+
+Bit-exactness contract (same as PRs 2–3, lifted one level): with the engine
+on, every :class:`~repro.core.trace.ProbeTrace` is bit-identical to the
+segment-block scalar engine's, including the order and count of consumed rng
+draws. The engine owns only the *clean* path — rounds in which every data
+packet and every ACK survives and the sender's reply is one contiguous burst
+of new data. Everything else runs on the real objects:
+
+* connection open, probe start, the emulated timeout, F-RTO fallback and the
+  first post-timeout round are driven through the real
+  :class:`~repro.tcp.connection.TcpSender` entry points per session;
+* any divergence — a loss draw striking, a sender reply that is not a single
+  clean burst, a quiet server — drops the session into *real rounds*: the rng
+  stream is rewound to the round start and the round (and any messy rounds
+  after it) executes through the scalar gatherer's own helpers on the real
+  sender, rejoining the columnar fast path as soon as the reply is a clean
+  burst again. Divergence therefore costs one scalar round, not the trace
+  twice over;
+* non-registry algorithms and quirky server profiles are rejected at
+  admission and run whole probes on the historic scalar path; as a safety
+  net, a mid-round surprise from a trusted batch hook *ejects* the session —
+  the rng stream is rewound to the snapshot taken at trace start and the
+  whole trace is replayed by the scalar
+  :class:`~repro.core.gather.TraceGatherer`, which by construction reproduces
+  the scalar result exactly.
+
+Sessions keep their real ``TcpSender`` / server / rng objects throughout;
+the numpy columns are materialised per step from the cohort, and per-session
+fields are written back after each lock-step round. That keeps every
+non-clean event on the battle-tested scalar code while the hot clean rounds
+(the overwhelming majority of a loss-free probe) cost one vector pass.
+
+``REPRO_COLUMNAR=0`` disables the tier entirely (callers fall back to the
+historic per-session path); ``REPRO_COLUMNAR_COHORT`` sizes the cohorts the
+census runner and training-set builder batch their work into.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.environments import DEFAULT_ENVIRONMENTS, W_TIMEOUT_LADDER, NetworkEnvironment
+from repro.core.gather import GatherConfig, ProbeableServer, SyntheticServer, TraceGatherer
+from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
+from repro.net.conditions import NetworkCondition
+from repro.tcp.algorithms.kernels import (
+    ALWAYS_KERNEL as _ALWAYS_KERNEL,
+    KERNEL_LOOP,
+    NARROW_GROUP as _NARROW_GROUP,
+    KernelGroup,
+    has_kernel,
+    kernel_family,
+    prepare_run,
+)
+from repro.tcp.base import AckContext, CongestionAvoidance
+from repro.tcp.connection import TcpSender
+from repro.tcp.packet import SegmentBlock
+from repro.tcp.rto import (
+    DEFAULT_MAX_RTO,
+    DEFAULT_MIN_RTO,
+    DEFAULT_MIN_VARIANCE_TERM,
+    RtoEstimator,
+)
+from repro.tcp.slow_start import StandardSlowStart
+from repro.web.server import WebServer
+
+#: Escape hatch: ``REPRO_COLUMNAR=0`` restores the per-session engines.
+COLUMNAR_ENV = "REPRO_COLUMNAR"
+#: Cohort size used when chunking census / training work onto the engine.
+COLUMNAR_COHORT_ENV = "REPRO_COLUMNAR_COHORT"
+#: Wide cohorts amortize the per-round numpy dispatch across more sessions;
+#: mixed-algorithm workloads (a census chunk spans the whole registry) need
+#: roughly 64 lanes per algorithm before the vector ladder beats the scalar
+#: hooks, hence the generous default. Memory per lane is one sender state.
+DEFAULT_COHORT_SIZE = 1024
+
+
+def columnar_enabled() -> bool:
+    """Whether the columnar tier is active (default: yes)."""
+    return os.environ.get(COLUMNAR_ENV, "1") != "0"
+
+
+def columnar_cohort_size() -> int:
+    """Cohort size for census / training chunking (``REPRO_COLUMNAR_COHORT``)."""
+    raw = os.environ.get(COLUMNAR_COHORT_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_COHORT_SIZE
+    return max(1, value) if raw else DEFAULT_COHORT_SIZE
+
+
+# --------------------------------------------------------------------- lanes
+@dataclass
+class ProbeJob:
+    """One probe request: a server under a condition with a gather config."""
+
+    server: ProbeableServer
+    condition: NetworkCondition
+    rng: np.random.Generator
+    config: GatherConfig
+    server_id: str | None = None
+
+
+class ProbeLane:
+    """A sequential consumer of probes: the cohort's unit of scheduling.
+
+    A lane feeds the engine one :class:`ProbeJob` at a time and receives the
+    finished :class:`ProbeTrace` back; its own rng draws (condition sampling,
+    server construction, ladder retries) stay strictly sequential within the
+    lane, so lanes are bit-independent and the cohort's lock-step interleaving
+    cannot reorder any stream.
+    """
+
+    def next_job(self) -> ProbeJob | None:
+        raise NotImplementedError
+
+    def job_done(self, probe: ProbeTrace) -> None:
+        raise NotImplementedError
+
+
+class SingleProbeLane(ProbeLane):
+    """One fixed probe; the result lands in :attr:`result`."""
+
+    def __init__(self, server: ProbeableServer, condition: NetworkCondition,
+                 rng: np.random.Generator, config: GatherConfig | None = None,
+                 server_id: str | None = None):
+        self._job: ProbeJob | None = ProbeJob(server, condition, rng,
+                                              config or GatherConfig(), server_id)
+        self.result: ProbeTrace | None = None
+
+    def next_job(self) -> ProbeJob | None:
+        job, self._job = self._job, None
+        return job
+
+    def job_done(self, probe: ProbeTrace) -> None:
+        self.result = probe
+
+
+class LadderLane(ProbeLane):
+    """`probe_with_w_timeout_ladder` as a lane: retry down the ladder until a
+    probe is usable for feature extraction, keep the last attempt otherwise."""
+
+    def __init__(self, server: ProbeableServer, condition: NetworkCondition,
+                 rng: np.random.Generator, mss: int,
+                 ladder: tuple[int, ...] = W_TIMEOUT_LADDER,
+                 server_id: str | None = None,
+                 wait_between_environments: float = 600.0):
+        self.server = server
+        self.condition = condition
+        self.rng = rng
+        self.mss = mss
+        self.ladder = ladder
+        self.server_id = server_id
+        self.wait = wait_between_environments
+        self._rung = 0
+        self.result: ProbeTrace | None = None
+
+    def next_job(self) -> ProbeJob | None:
+        if self.result is not None and self.result.usable_for_features:
+            return None
+        if self._rung >= len(self.ladder):
+            return None
+        w_timeout = self.ladder[self._rung]
+        self._rung += 1
+        config = GatherConfig(w_timeout=w_timeout, mss=self.mss,
+                              wait_between_environments=self.wait)
+        return ProbeJob(self.server, self.condition, self.rng, config,
+                        self.server_id)
+
+    def job_done(self, probe: ProbeTrace) -> None:
+        self.result = probe
+
+
+# --------------------------------------------------------------------- stats
+@dataclass
+class ColumnarStats:
+    """Counters the benchmark and the census report surface."""
+
+    lanes: int = 0
+    vector_steps: int = 0
+    occupancy_sum: int = 0
+    columnar_rounds: int = 0
+    real_rounds: int = 0
+    columnar_traces: int = 0
+    ejected_traces: int = 0
+    admission_rejects: int = 0
+    scalar_probes: int = 0
+    ejects_by_reason: dict = field(default_factory=dict)
+    kernel_seconds: float = 0.0
+    scalar_seconds: float = 0.0
+
+    def note_eject(self, reason: str) -> None:
+        self.ejected_traces += 1
+        self.ejects_by_reason[reason] = self.ejects_by_reason.get(reason, 0) + 1
+
+    @property
+    def occupancy(self) -> float:
+        """Mean cohort width of the vectorized steps (lock-step utilisation)."""
+        return self.occupancy_sum / self.vector_steps if self.vector_steps else 0.0
+
+    @property
+    def eject_rate(self) -> float:
+        attempted = self.columnar_traces + self.ejected_traces
+        return self.ejected_traces / attempted if attempted else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "lanes": self.lanes,
+            "vector_steps": self.vector_steps,
+            "cohort_occupancy": round(self.occupancy, 2),
+            "columnar_rounds": self.columnar_rounds,
+            "real_rounds": self.real_rounds,
+            "columnar_traces": self.columnar_traces,
+            "ejected_traces": self.ejected_traces,
+            "eject_rate": round(self.eject_rate, 4),
+            "admission_rejects": self.admission_rejects,
+            "scalar_probes": self.scalar_probes,
+            "ejects_by_reason": dict(sorted(self.ejects_by_reason.items())),
+            "kernel_seconds": round(self.kernel_seconds, 4),
+            "scalar_seconds": round(self.scalar_seconds, 4),
+        }
+
+
+# ---------------------------------------------------------------- admission
+def server_admissible(server: ProbeableServer) -> bool:
+    """Whether the engine may drive this server's traces columnar.
+
+    The safety-net eject replays a trace through
+    :meth:`TraceGatherer.gather_trace`, which opens a *second* connection for
+    the same trace. Synthetic servers keep no open-time state, and a web
+    server's (ssthresh cache, ``connections_opened``) is snapshotted at trace
+    start and restored before the replay — so both kinds replay without
+    observable drift. Server types this module does not know to be
+    restorable run on the scalar path wholesale.
+    """
+    return isinstance(server, (SyntheticServer, WebServer))
+
+
+def sender_admissible(sender: TcpSender) -> bool:
+    """Whether a freshly opened sender can run on the columnar clean path.
+
+    Mirrors (and tightens) ``TcpSender._run_eligible``: the kernels replicate
+    the trusted decoupled batch hooks over the standard slow start, so
+    anything outside that envelope — overridden slow start, untrusted or
+    coupled batch hooks, window quirks, non-default estimator constants, the
+    legacy per-segment emitter — is rejected up front and the trace runs on
+    the scalar engine instead.
+    """
+    config = sender.config
+    estimator = sender.rto
+    return (sender._blocks_native
+            and sender._batch_enabled
+            and sender._batch_decoupled
+            and sender._alg_uses_policy_ss
+            and type(sender.slow_start_policy) is StandardSlowStart
+            and has_kernel(sender.algorithm)
+            and config.approach_ceiling is None
+            and not config.use_cwnd_moderation
+            and not config.freeze_in_avoidance
+            and not config.post_timeout_stall
+            and estimator.alpha == 0.125
+            and estimator.beta == 0.25
+            and estimator.min_rto == DEFAULT_MIN_RTO
+            and estimator.max_rto == DEFAULT_MAX_RTO
+            and estimator.min_variance_term == DEFAULT_MIN_VARIANCE_TERM)
+
+
+def _slow_start_run(cwnd: float, ssthresh: float, count: int) -> tuple[int, float]:
+    """Closed form of ``StandardSlowStart.on_ack_run`` on plain scalars.
+
+    Returns ``(consumed, cwnd_after)``. The integral-window cases collapse to
+    arithmetic (iterated ``+= 1.0`` on an integral float is exact, and the
+    overshoot clamp makes the trajectory ``min(cwnd + i, ssthresh)``); the
+    rare non-integral window replays the scalar loop verbatim.
+    """
+    if count <= 0:
+        return 0, cwnd
+    if not math.isfinite(ssthresh):
+        if cwnd.is_integer():
+            return count, cwnd + count
+        for _ in range(count):
+            cwnd += 1.0
+        return count, cwnd
+    if cwnd >= ssthresh:
+        return 0, cwnd
+    if cwnd.is_integer():
+        # Smallest j with cwnd + j >= ssthresh; the ceil of the float
+        # difference can be off by one ulp, so adjust exactly.
+        j = int(math.ceil(ssthresh - cwnd))
+        while j > 0 and cwnd + (j - 1) >= ssthresh:
+            j -= 1
+        while cwnd + j < ssthresh:
+            j += 1
+        consumed = count if count < j else j
+        new = cwnd + consumed
+        return consumed, ssthresh if new > ssthresh else new
+    consumed = 0
+    while consumed < count and cwnd < ssthresh:
+        before = cwnd
+        cwnd += 1.0
+        upper = ssthresh if ssthresh >= before else before
+        if cwnd > upper:
+            cwnd = upper
+        consumed += 1
+    return consumed, cwnd
+
+
+# --------------------------------------------------------------- the engine
+_NEED_JOB = "need-job"
+_START_TRACE = "start-trace"
+_CLEAN = "clean"
+_REAL = "real"
+_TIMEOUT = "timeout"
+_DONE = "done"
+
+
+class _LaneRunner:
+    """Per-lane probe/trace state machine driven by the engine.
+
+    Real-call stages (trace start, the emulated timeout, ejects, finalisation)
+    execute inside :meth:`advance`, which always parks the runner either in
+    the clean-round state — ready for the next vectorized step — or done.
+    """
+
+    def __init__(self, engine: "ColumnarProbeEngine", lane: ProbeLane):
+        self.engine = engine
+        self.lane = lane
+        self.stage = _NEED_JOB
+        self.job: ProbeJob | None = None
+        self.gatherer: TraceGatherer | None = None
+        self.env_index = 0
+        self.traces: list[WindowTrace] = []
+        # Per-trace state.
+        self.sender: TcpSender | None = None
+        self.trace: WindowTrace | None = None
+        self.snapshot = None
+        self.server_snapshot = None
+        self.start_time = 0.0
+        self.now = 0.0
+        self.phase = "pre"
+        self.idx = 0
+        # Cached per-trace constants (attribute-chain hoisting for the step).
+        self.env: NetworkEnvironment | None = None
+        self.loss = 0.0
+        self.mss = 0
+        self.wt = 0
+        self.total_bytes = 0
+        self.total_packets = 0
+        self.rwnd = 0.0
+        self.sbuf = float("inf")
+        self.max_pre = 0
+        self.post_rounds = 0
+        self.rng: np.random.Generator | None = None
+        self.state = None
+        self.rto: RtoEstimator | None = None
+        self.alg = None
+        self.hook = None           # the sender's bound _avoidance_batch
+        self.round_hook = None     # on_round_complete, None when the no-op base
+        self.he = 0        # highest received end_seq (bytes)
+        self.hp = 0        # previous round's highest_end
+        self.hpk = 0       # highest received stop_index (packets)
+        self.b_start = 0   # in-flight burst [start, stop) packets, sent at b_sent
+        self.b_stop = 0
+        self.b_sent = 0.0
+        self.blocks: list = []   # real in-flight blocks while in the real stage
+        self._step_eject: str | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.stage != _DONE
+
+    # ------------------------------------------------------------ scheduling
+    def advance(self) -> None:
+        """Run real-call stages until parked at a clean round (or done)."""
+        while self.stage not in (_CLEAN, _DONE):
+            if self.stage == _NEED_JOB:
+                self._next_job()
+            elif self.stage == _START_TRACE:
+                self._start_trace()
+            elif self.stage == _REAL:
+                self._real_round()
+            elif self.stage == _TIMEOUT:
+                self._emulated_timeout()
+
+    def _next_job(self) -> None:
+        job = self.lane.next_job()
+        if job is None:
+            self.stage = _DONE
+            return
+        self.job = job
+        self.gatherer = TraceGatherer(job.config, self.engine.environments)
+        self.env_index = 0
+        self.traces = []
+        if not server_admissible(job.server):
+            # The whole probe runs scalar; the lane schedule is unaffected.
+            began = time.perf_counter()
+            probe = self.gatherer.gather_probe(job.server, job.condition,
+                                               job.rng, job.server_id)
+            self.engine.stats.scalar_seconds += time.perf_counter() - began
+            self.engine.stats.scalar_probes += 1
+            self.lane.job_done(probe)
+            return
+        self.stage = _START_TRACE
+
+    def _start_trace(self) -> None:
+        job, config = self.job, self.job.config
+        env = self.engine.environments[self.env_index]
+        self.start_time = self.env_index * config.wait_between_environments
+        if not job.server.accepts_mss(config.mss):
+            self._finish(WindowTrace.invalid(env.name, config.w_timeout,
+                                             config.mss, InvalidReason.MSS_REJECTED))
+            return
+        self.snapshot = copy.deepcopy(job.rng.bit_generator.state)
+        self.server_snapshot = None
+        if isinstance(job.server, WebServer):
+            # Opening a connection refreshes the server's ssthresh cache from
+            # the previous sender; keep enough state to undo the open if the
+            # safety-net eject has to replay this trace.
+            self.server_snapshot = (job.server._last_sender,
+                                    job.server._cache_time,
+                                    job.server._cached_ssthresh,
+                                    job.server.connections_opened)
+        sender = job.server.open_connection(config.mss, self.start_time,
+                                            config.required_bytes())
+        if sender is None:
+            self._finish(WindowTrace.invalid(env.name, config.w_timeout,
+                                             config.mss, InvalidReason.CONNECTION_FAILED))
+            return
+        if not sender_admissible(sender):
+            # No rng consumed yet: reuse the already-open sender on the
+            # scalar path (single open, exactly the historic flow).
+            self.engine.stats.admission_rejects += 1
+            began = time.perf_counter()
+            trace = self.gatherer._run_probe(sender, job.server, env,
+                                             job.condition, job.rng, self.start_time)
+            self.engine.stats.scalar_seconds += time.perf_counter() - began
+            self._finish(trace)
+            return
+        self.sender = sender
+        self.trace = WindowTrace(environment=env.name, w_timeout=config.w_timeout,
+                                 mss=config.mss,
+                                 required_post_rounds=config.rounds_after_timeout)
+        self.now = self.start_time
+        self.phase, self.idx = "pre", 0
+        self.he = self.hp = self.hpk = 0
+        self.env = env
+        self.loss = job.condition.loss_rate
+        self.mss = config.mss
+        self.wt = config.w_timeout
+        self.total_bytes = sender._total_bytes
+        self.total_packets = sender.total_packets
+        self.rwnd = sender.config.receive_window_bytes / config.mss
+        buffer = sender.config.send_buffer_packets
+        self.sbuf = float("inf") if buffer is None else buffer
+        self.max_pre = config.max_pre_timeout_rounds
+        self.post_rounds = config.rounds_after_timeout
+        self.rng = job.rng
+        self.state = sender.state
+        self.rto = sender.rto
+        self.alg = sender.algorithm
+        self.hook = sender._avoidance_batch
+        hook = type(sender.algorithm).on_round_complete
+        self.round_hook = (sender.algorithm.on_round_complete
+                           if hook is not CongestionAvoidance.on_round_complete
+                           else None)
+        blocks = sender.start_native(self.start_time)
+        if self._virtualize(blocks):
+            self.stage = _CLEAN
+        else:
+            self.blocks = blocks
+            self.stage = _REAL
+
+    # -------------------------------------------------------- real-call round
+    def _emulated_timeout(self) -> None:
+        """The emulated timeout on the real sender — the exact sequence of
+        ``TraceGatherer._run_probe_blocks``; the retransmission burst is then
+        processed by the real post-timeout round."""
+        sender, job = self.sender, self.job
+        began = time.perf_counter()
+        try:
+            deadline = sender.next_timer_deadline()
+            if deadline is None:
+                self._finish_current(InvalidReason.NO_TIMEOUT_RESPONSE)
+                return
+            self.now = max(self.now, deadline)
+            blocks = sender.on_timer_native(self.now)
+            if not blocks:
+                self._finish_current(InvalidReason.NO_TIMEOUT_RESPONSE)
+                return
+            if job.server.uses_frto():
+                sender.on_ack_packet(self.hpk, self.now, is_duplicate=True)
+            self.phase, self.idx = "post", 0
+            self.blocks = blocks
+            self.stage = _REAL
+        finally:
+            self.engine.stats.scalar_seconds += time.perf_counter() - began
+
+    def _real_round(self) -> None:
+        """One full round on the real sender via the gatherer's own helpers.
+
+        The exact loop body of ``TraceGatherer._run_probe_blocks`` — loss
+        splitting, dupacks, recovery, retransmissions, quiet-server timer
+        refires all behave scalar because they *are* the scalar code. Each
+        round ends with a rejoin attempt: as soon as the sender's reply is the
+        clean single-burst shape again, the lane returns to the columnar fast
+        path. Divergence therefore costs one scalar round, not (as a
+        rewind-and-replay eject would) the whole trace twice.
+        """
+        sender, gatherer, job = self.sender, self.gatherer, self.job
+        condition, rng = job.condition, job.rng
+        began = time.perf_counter()
+        self.engine.stats.real_rounds += 1
+        try:
+            blocks = self.blocks
+            trace = self.trace
+            if self.phase == "pre":
+                received = gatherer._deliver_blocks(blocks, condition, rng)
+                if not received:
+                    self._finish_current(InvalidReason.INSUFFICIENT_DATA)
+                    return
+                for block in received:
+                    if block.end_seq > self.he:
+                        self.he = block.end_seq
+                    if block.stop_index > self.hpk:
+                        self.hpk = block.stop_index
+                window = gatherer._window_estimate_blocks(received, self.he, self.hp)
+                self.hp = self.he
+                trace.pre_timeout.append(window)
+                self.now += self.env.rtt_before_timeout(self.idx)
+                if window > self.wt:
+                    self.stage = _TIMEOUT
+                    return
+                blocks, lost = gatherer._acknowledge_blocks(
+                    sender, received, condition, rng, self.now, self.hpk)
+                trace.ack_loss_events += lost
+                if not blocks:
+                    self._finish_current(InvalidReason.INSUFFICIENT_DATA)
+                    return
+                self.idx += 1
+                if self.idx >= self.max_pre:
+                    self._finish_current(InvalidReason.WINDOW_BELOW_W_TIMEOUT)
+                    return
+            else:
+                if not blocks:
+                    # Quiet server: a lost round of ACKs leaves data unacked
+                    # and the retransmission timer eventually refires.
+                    deadline = sender.next_timer_deadline()
+                    if deadline is not None and not sender.all_data_acked():
+                        self.now = max(self.now, deadline)
+                        blocks = sender.on_timer_native(self.now)
+                received = gatherer._deliver_blocks(blocks, condition, rng)
+                if not blocks:
+                    self._finish_current(InvalidReason.INSUFFICIENT_DATA)
+                    return
+                if received:
+                    for block in received:
+                        if block.end_seq > self.he:
+                            self.he = block.end_seq
+                        if block.stop_index > self.hpk:
+                            self.hpk = block.stop_index
+                    window = gatherer._window_estimate_blocks(received, self.he,
+                                                              self.hp)
+                    self.hp = self.he
+                else:
+                    window = 0.0
+                trace.post_timeout.append(window)
+                self.now += self.env.rtt_after_timeout(self.idx)
+                blocks, lost = gatherer._acknowledge_blocks(
+                    sender, received, condition, rng, self.now, self.hpk)
+                trace.ack_loss_events += lost
+                self.idx += 1
+                if self.idx >= self.post_rounds:
+                    self._finish_current(None)
+                    return
+            self.blocks = blocks
+            if self._virtualize(blocks):
+                self.stage = _CLEAN
+        finally:
+            self.engine.stats.scalar_seconds += time.perf_counter() - began
+
+    def _virtualize(self, blocks) -> bool:
+        """Adopt the sender's emission as the lane's virtual in-flight burst.
+
+        True only when the reply is the clean shape the columnar round models:
+        one contiguous non-retransmission burst covering exactly
+        ``[snd_una, snd_nxt)``, no recovery/F-RTO residue, a single send span
+        and a timer consistent with the armed-iff rule.
+        """
+        sender = self.sender
+        if len(blocks) != 1:
+            return False
+        block = blocks[0]
+        if block.is_retransmission:
+            return False
+        if block.start_index != sender._snd_una or block.stop_index != sender._snd_nxt:
+            return False
+        if sender._round_end != sender._snd_nxt:
+            return False
+        if sender._frto_state or sender._in_recovery or sender._retransmitted:
+            return False
+        if sender._send_spans != [[block.start_index, block.stop_index, block.sent_at]]:
+            return False
+        if (sender._last_timeout_time is not None
+                and block.sent_at < sender._last_timeout_time):
+            return False
+        # No constraint on the timer: ``start_native`` leaves it unarmed and
+        # the ACK path arms it -- either way the columnar round overwrites it,
+        # and a timeout hitting before any columnar ACK reads the sender's
+        # real ``next_timer_deadline`` (None => NO_TIMEOUT_RESPONSE, exactly
+        # the scalar verdict).
+        self.b_start, self.b_stop, self.b_sent = (block.start_index,
+                                                  block.stop_index, block.sent_at)
+        return True
+
+    def _virtual_block(self):
+        """Materialise the clean-mode in-flight burst as a real block.
+
+        Field-for-field what ``TcpSender._emit_range`` produced for the span
+        ``[b_start, b_stop)``; handed to the real round when a loss draw
+        strikes a clean-mode lane.
+        """
+        stop = self.b_stop
+        last = self.total_bytes - (stop - 1) * self.mss
+        if last > self.mss or last <= 0:
+            last = self.mss
+        return SegmentBlock(start_index=self.b_start, stop_index=stop,
+                            mss=self.mss, sent_at=self.b_sent, last_length=last)
+
+    # ------------------------------------------------------------ transitions
+    def eject(self, reason: str) -> None:
+        """Rewind the rng to trace start and replay on the scalar engine."""
+        job = self.job
+        self.engine.stats.note_eject(reason)
+        job.rng.bit_generator.state = copy.deepcopy(self.snapshot)
+        if self.server_snapshot is not None:
+            (job.server._last_sender, job.server._cache_time,
+             job.server._cached_ssthresh,
+             job.server.connections_opened) = self.server_snapshot
+        env = self.engine.environments[self.env_index]
+        began = time.perf_counter()
+        trace = self.gatherer.gather_trace(job.server, env, job.condition,
+                                           job.rng, self.start_time)
+        self.engine.stats.scalar_seconds += time.perf_counter() - began
+        self._finish(trace)
+
+    def _finish_current(self, reason: InvalidReason | None) -> None:
+        if reason is not None:
+            self.trace.invalid_reason = reason
+        self.engine.stats.columnar_traces += 1
+        self._finish(self.trace)
+
+    def _finish(self, trace: WindowTrace) -> None:
+        self.traces.append(trace)
+        self.sender = None
+        self.trace = None
+        self.env_index += 1
+        if self.env_index < len(self.engine.environments):
+            self.stage = _START_TRACE
+            return
+        config = self.job.config
+        trace_a, trace_b = self.traces
+        probe = ProbeTrace(trace_a=trace_a, trace_b=trace_b,
+                           w_timeout=config.w_timeout, mss=config.mss,
+                           server_id=self.job.server_id)
+        self.lane.job_done(probe)
+        self.stage = _NEED_JOB
+
+
+class ColumnarProbeEngine:
+    """Lock-step struct-of-arrays driver for a cohort of probe lanes."""
+
+    def __init__(self, environments: tuple[NetworkEnvironment, ...] = DEFAULT_ENVIRONMENTS):
+        self.environments = environments
+        self.stats = ColumnarStats()
+
+    # ------------------------------------------------------------------ API
+    def run(self, lanes: list[ProbeLane]) -> ColumnarStats:
+        """Drive every lane to completion; returns the accumulated stats."""
+        runners = [_LaneRunner(self, lane) for lane in lanes]
+        self.stats.lanes += len(runners)
+        for runner in runners:
+            runner.advance()
+        while True:
+            batch = [r for r in runners if r.alive and r.stage == _CLEAN]
+            if not batch:
+                break
+            began = time.perf_counter()
+            self._clean_step(batch)
+            self.stats.kernel_seconds += time.perf_counter() - began
+            self.stats.vector_steps += 1
+            self.stats.occupancy_sum += len(batch)
+            for runner in batch:
+                if runner.stage != _CLEAN:
+                    runner.advance()
+        return self.stats
+
+    def gather_probes(self, jobs: list[ProbeJob]) -> list[ProbeTrace]:
+        """Probe one cohort of independent jobs; results in job order."""
+        lanes = [SingleProbeLane(job.server, job.condition, job.rng,
+                                 job.config, job.server_id) for job in jobs]
+        self.run(lanes)
+        return [lane.result for lane in lanes]
+
+    # ------------------------------------------------------------ clean round
+    def _clean_step(self, batch: list[_LaneRunner]) -> None:
+        """Advance every clean-round lane by one ACK-ladder round.
+
+        The per-lane structure mirrors ``TraceGatherer._run_probe_blocks``
+        (delivery, window estimate, schedule advance, timeout check, ACK
+        ladder) and the ladder's effect mirrors
+        ``TcpSender._consume_clean_run``. The O(ACKs)-deep recurrences -- the
+        RTO EWMA and the congestion-avoidance growth -- run on cohort-wide
+        columns (one vector operation per ladder step for the whole batch);
+        the O(1)-per-round bookkeeping (window estimate, caps, timer, span
+        writeback) stays scalar per lane, where plain Python beats the cost
+        of materialising a column.
+        """
+        sub: list[_LaneRunner] = []
+        for r in batch:
+            start, stop = r.b_start, r.b_stop
+            if start >= stop:
+                if r.phase == "pre":
+                    # The server ran out of data mid slow start.
+                    r._finish_current(InvalidReason.INSUFFICIENT_DATA)
+                else:
+                    # Quiet server: the real round owns timer refires and the
+                    # end-of-stream verdict.
+                    r.blocks = []
+                    r.stage = _REAL
+                continue
+            loss = r.loss
+            rng = r.rng
+            if loss > 0.0:
+                snapshot = rng.bit_generator.state
+                if bool((rng.random(stop - start) < loss).any()):
+                    # A data packet dies this round: rewind the stream to the
+                    # round start and hand the round to the real engine, which
+                    # redraws the same values and splits the burst around the
+                    # losses.
+                    rng.bit_generator.state = snapshot
+                    r.blocks = [r._virtual_block()]
+                    r.stage = _REAL
+                    continue
+            # Window estimate (byte-based; the stream tail may be short).
+            # Computed before any mutation so a losing ACK draw below can bail
+            # to the real engine without an undo.
+            mss = r.mss
+            last_seq = (stop - 1) * mss
+            last_len = r.total_bytes - last_seq
+            if last_len > mss or last_len <= 0:
+                last_len = mss
+            end_seq = last_seq + last_len
+            he = r.he if r.he > end_seq else end_seq
+            by_seq = (he - r.hp) / mss
+            window = by_seq if by_seq > 0 else float(stop - start)
+            pre = r.phase == "pre"
+            timeout_break = pre and window > r.wt
+            # The ACK draws sit behind the timeout break, exactly as in the
+            # scalar loop (a break-out round never acknowledges). Stream order
+            # is unaffected by drawing here rather than after the bookkeeping:
+            # a clean round consumes the data array then the ACK array with
+            # nothing in between.
+            if (not timeout_break and loss > 0.0
+                    and bool((rng.random(stop - start) < loss).any())):
+                # An ACK dies: rewind the stream to the round start and replay
+                # the round on the real engine — the data draws re-consume
+                # identically and the ACK draws then fragment the ladder
+                # exactly as the scalar path would.
+                rng.bit_generator.state = snapshot
+                r.blocks = [r._virtual_block()]
+                r.stage = _REAL
+                continue
+            (r.trace.pre_timeout if pre else r.trace.post_timeout).append(window)
+            r.he = r.hp = he
+            if stop > r.hpk:
+                r.hpk = stop
+            r.now += (r.env.rtt_before_timeout(r.idx) if pre
+                      else r.env.rtt_after_timeout(r.idx))
+            self.stats.columnar_rounds += 1
+            if timeout_break:
+                r.stage = _TIMEOUT
+                continue
+            sub.append(r)
+        if not sub:
+            return
+        count = len(sub)
+        if count < _NARROW_GROUP:
+            # A batch this narrow cannot fill any vector lane (every kernel
+            # family is below the vector-width floor), so the column
+            # materialisation would be pure overhead: run the decoupled
+            # updates per lane instead. ``observe_run`` and the batch hooks
+            # are the scalar engine's own primitives, so the results are
+            # trivially bit-identical to the column path.
+            rtt: list = []
+            k: list = []
+            cwnd_km1 = [0.0] * count
+            cwnd_fin = [0.0] * count
+            for j, r in enumerate(sub):
+                kk = r.b_stop - r.b_start
+                sample = r.now - r.b_sent
+                if sample < 1e-9:
+                    sample = 1e-9
+                k.append(kk)
+                rtt.append(sample)
+                estimator = r.rto
+                estimator.observe_run(sample, kk)
+                state = r.state
+                state.latest_rtt = sample
+                state.srtt = estimator.srtt
+                if sample < state.min_rtt:
+                    state.min_rtt = sample
+                if sample > state.max_rtt:
+                    state.max_rtt = sample
+                ss1, c1 = _slow_start_run(state.cwnd, state.ssthresh, kk - 1)
+                n1 = (kk - 1) - ss1
+                if n1 == 0 and c1 < state.ssthresh:
+                    ss2, c2 = _slow_start_run(c1, state.ssthresh, 1)
+                    if ss2 == 1:
+                        cwnd_km1[j] = c1
+                        cwnd_fin[j] = c2
+                        continue
+                state.cwnd = c1
+                ctx = AckContext(now=r.now, rtt_sample=sample,
+                                 newly_acked_packets=1)
+                ok = True
+                if n1:
+                    consumed, log = r.hook(state, ctx, n1)
+                    ok = consumed == n1 and log is None
+                cwnd_km1[j] = state.cwnd
+                if ok:
+                    consumed, log = r.hook(state, ctx, 1)
+                    ok = consumed == 1 and log is None
+                cwnd_fin[j] = state.cwnd
+                if not ok:
+                    r._step_eject = "hook-shape"
+            self._writeback(sub, rtt, k, cwnd_km1, cwnd_fin)
+            return
+
+        # --- RTO / RTT registration (decoupled branch of _consume_clean_run)
+        k = np.array([r.b_stop - r.b_start for r in sub], dtype=np.int64)
+        rtt = np.array([r.now - r.b_sent for r in sub], dtype=np.float64)
+        np.maximum(rtt, 1e-9, out=rtt)
+        srtt = np.array([r.sender.rto.srtt if r.sender.rto.srtt is not None
+                         else np.nan for r in sub], dtype=np.float64)
+        rttvar = np.array([r.sender.rto.rttvar if r.sender.rto.rttvar is not None
+                           else np.nan for r in sub], dtype=np.float64)
+        RtoEstimator.observe_run_columns(srtt, rttvar, rtt, k)
+
+        # --- window growth: slow-start split + per-family avoidance kernels
+        cwnd_km1 = np.empty(count, dtype=np.float64)
+        cwnd_fin = np.empty(count, dtype=np.float64)
+        avoidance: list = []
+        type_width: dict[type, int] = {}
+        for j, r in enumerate(sub):
+            estimator = r.rto
+            estimator.srtt = smoothed = float(srtt[j])
+            estimator.rttvar = float(rttvar[j])
+            estimator.backoff_exponent = 0
+            state = r.state
+            sample = float(rtt[j])
+            state.latest_rtt = sample
+            state.srtt = smoothed
+            if sample < state.min_rtt:
+                state.min_rtt = sample
+            if sample > state.max_rtt:
+                state.max_rtt = sample
+            kk = int(k[j])
+            ss1, c1 = _slow_start_run(state.cwnd, state.ssthresh, kk - 1)
+            n1 = (kk - 1) - ss1
+            if n1 == 0 and c1 < state.ssthresh:
+                ss2, c2 = _slow_start_run(c1, state.ssthresh, 1)
+                if ss2 == 1:
+                    cwnd_km1[j] = c1
+                    cwnd_fin[j] = c2
+                    continue
+            fam = kernel_family(r.alg)
+            type_width[fam] = type_width.get(fam, 0) + 1
+            avoidance.append((j, r, sample, c1, n1, fam))
+        groups: dict[str, list] = {}
+        for j, r, sample, c1, n1, fam in avoidance:
+            state = r.state
+            state.cwnd = c1
+            ctx = AckContext(now=r.now, rtt_sample=sample, newly_acked_packets=1)
+            if (fam == KERNEL_LOOP
+                    or (type_width[fam] < _NARROW_GROUP
+                        and type(r.alg) not in _ALWAYS_KERNEL)):
+                # A vector ladder step costs a few numpy dispatches however
+                # few sessions it advances; below this width the session's
+                # real batch hook (the exact scalar split: k - 1 ACKs, then
+                # the last) is cheaper -- and trivially bit-identical.
+                plan = None
+            else:
+                plan = prepare_run(r.alg, state, ctx, n1 + 1)
+            if plan is None or plan.mode == KERNEL_LOOP:
+                ok = True
+                if n1:
+                    consumed, log = r.hook(state, ctx, n1)
+                    ok = consumed == n1 and log is None
+                cwnd_km1[j] = state.cwnd
+                if ok:
+                    consumed, log = r.hook(state, ctx, 1)
+                    ok = consumed == 1 and log is None
+                cwnd_fin[j] = state.cwnd
+                if not ok:
+                    r._step_eject = "hook-shape"
+                continue
+            groups.setdefault(plan.mode, []).append((j, c1, n1, 1, plan, r.alg))
+        for mode, members in groups.items():
+            KernelGroup(mode, members).run(cwnd_km1, cwnd_fin)
+        self._writeback(sub, rtt, k, cwnd_km1, cwnd_fin)
+
+    def _writeback(self, sub: list[_LaneRunner], rtt, k,
+                   cwnd_km1, cwnd_fin) -> None:
+        """Round completion, caps, emission, timer and span writeback.
+
+        Shared tail of :meth:`_clean_step`; the per-round columns arrive as
+        numpy arrays from the wide path or plain lists from the narrow one.
+        """
+        for j, r in enumerate(sub):
+            if r._step_eject is not None:
+                reason, r._step_eject = r._step_eject, None
+                r.eject(reason)
+                continue
+            sender = r.sender
+            state = r.state
+            state.cwnd = float(cwnd_fin[j])
+            sample = float(rtt[j])
+            moment = r.now
+            kk = int(k[j])
+            state.acked_in_round += kk
+            state.last_round_rtt = sample
+            if not state.in_slow_start():
+                state.avoidance_rounds += 1
+            if r.round_hook is not None:
+                r.round_hook(state, AckContext(now=moment, rtt_sample=sample,
+                                               newly_acked_packets=0,
+                                               round_completed=True))
+            state.acked_in_round = 0
+            sender._round_start_time = moment
+            state.clamp()
+            # Transmission caps: the k-1'th ACK's window bounds the per-ACK
+            # emission, the post-hook window sets the round-end cap.
+            una = r.b_stop
+            rwnd, sbuf = r.rwnd, r.sbuf
+            eff = cwnd_km1[j]
+            if rwnd < eff:
+                eff = rwnd
+            if sbuf < eff:
+                eff = sbuf
+            cap_max = una - 1 + int(eff) if kk > 1 else 0
+            eff = state.cwnd
+            if rwnd < eff:
+                eff = rwnd
+            if sbuf < eff:
+                eff = sbuf
+            new_nxt = una + int(eff)
+            if cap_max > new_nxt:
+                new_nxt = cap_max
+            if new_nxt > r.total_packets:
+                new_nxt = r.total_packets
+            if new_nxt < una:
+                new_nxt = una
+            estimator = r.rto
+            base = estimator.srtt + max(4.0 * estimator.rttvar,
+                                        DEFAULT_MIN_VARIANCE_TERM)
+            base = min(max(base, DEFAULT_MIN_RTO), DEFAULT_MAX_RTO)
+            armed = una < new_nxt or new_nxt < r.total_packets
+            sender._snd_una = una
+            sender._snd_nxt = new_nxt
+            sender._round_end = new_nxt
+            sender._dupack_count = 0
+            sender._send_spans = [[una, new_nxt, moment]] if new_nxt > una else []
+            sender._timer_deadline = moment + base if armed else None
+            r.b_start, r.b_stop, r.b_sent = una, new_nxt, moment
+            r.idx += 1
+            if r.phase == "pre":
+                # The scalar loop bails with INSUFFICIENT_DATA the moment an
+                # ACK yields no new data -- even on the last allowed round,
+                # where it beats the WINDOW_BELOW_W_TIMEOUT verdict.
+                if new_nxt <= una:
+                    r._finish_current(InvalidReason.INSUFFICIENT_DATA)
+                elif r.idx >= r.max_pre:
+                    r._finish_current(InvalidReason.WINDOW_BELOW_W_TIMEOUT)
+            elif r.idx >= r.post_rounds:
+                r._finish_current(None)

@@ -1,0 +1,286 @@
+"""Columnar/scalar parity matrix for the multi-probe engine.
+
+The columnar cohort engine must be an invisible optimisation, exactly like
+the batched ACK and segment-block engines before it: every registry
+algorithm, in both emulated environments, across clean, lossy, F-RTO and
+quirky scenarios, and at any cohort size, must produce bit-identical
+:class:`ProbeTrace`s *and leave the probe's random stream in the exact state
+the scalar engine would* — the engine is allowed to change where the
+arithmetic executes, never what is computed or how many draws are consumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.columnar import (
+    COLUMNAR_COHORT_ENV,
+    COLUMNAR_ENV,
+    DEFAULT_COHORT_SIZE,
+    ColumnarProbeEngine,
+    ProbeJob,
+    columnar_cohort_size,
+    sender_admissible,
+)
+from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
+from repro.net.conditions import NetworkCondition
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+from repro.tcp.connection import SenderConfig, TcpSender
+from repro.tcp.algorithms.reno import Reno
+from repro.tcp.registry import ALL_ALGORITHM_NAMES
+from repro.web.content import WebPage, WebSite
+from repro.web.population import PopulationConfig, ServerPopulation
+from repro.web.server import ServerProfile, WebServer
+from tests.conftest import make_synthetic_server
+
+#: (label, gather kwargs, sender kwargs) for the scenario axis of the matrix.
+SCENARIOS = [
+    ("clean", dict(w_timeout=64), dict()),
+    ("lossy", dict(w_timeout=64,
+                   condition=NetworkCondition(average_rtt=0.2, rtt_std=0.0,
+                                              loss_rate=0.02)), dict()),
+    ("frto", dict(w_timeout=64), dict(use_frto=True)),
+    ("quirks", dict(w_timeout=64), dict(initial_ssthresh=40.0,
+                                        send_buffer_packets=90.0)),
+]
+
+
+def probe_pair(algorithm, w_timeout=64, condition=None, seed=7, frto=False,
+               server_factory=None, **sender_kwargs):
+    """Probe equivalent servers on the scalar and the columnar engine.
+
+    Returns ``(scalar_probe, columnar_probe, engine)`` after asserting the
+    two runs consumed the random stream identically.
+    """
+    condition = condition or NetworkCondition.ideal()
+    config = GatherConfig(w_timeout=w_timeout, mss=100)
+    factory = server_factory or make_synthetic_server
+
+    def build():
+        server = factory(algorithm, **sender_kwargs)
+        server.frto = frto
+        return server
+
+    rng_scalar = np.random.default_rng(seed)
+    scalar = TraceGatherer(config).gather_probe(build(), condition, rng_scalar)
+    rng_columnar = np.random.default_rng(seed)
+    engine = ColumnarProbeEngine()
+    columnar = engine.gather_probes(
+        [ProbeJob(build(), condition, rng_columnar, config)])[0]
+    assert rng_scalar.bit_generator.state == rng_columnar.bit_generator.state
+    return scalar, columnar, engine
+
+
+def assert_probes_identical(scalar, columnar):
+    for trace_scalar, trace_columnar in zip(scalar.traces(), columnar.traces()):
+        assert trace_scalar.pre_timeout == trace_columnar.pre_timeout
+        assert trace_scalar.post_timeout == trace_columnar.post_timeout
+        assert trace_scalar.invalid_reason is trace_columnar.invalid_reason
+        assert trace_scalar.ack_loss_events == trace_columnar.ack_loss_events
+        assert trace_scalar == trace_columnar
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHM_NAMES)
+@pytest.mark.parametrize("label,gather_kwargs,sender_kwargs",
+                         SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_parity_matrix(algorithm, label, gather_kwargs, sender_kwargs):
+    scalar, columnar, _ = probe_pair(algorithm, frto=(label == "frto"),
+                                     **gather_kwargs, **sender_kwargs)
+    assert_probes_identical(scalar, columnar)
+
+
+@pytest.mark.parametrize("algorithm",
+                         ["reno", "cubic-b", "westwood", "lp", "vegas", "yeah"])
+def test_parity_at_full_w_timeout(algorithm):
+    """Spot-check the production w_timeout = 512 (long slow-start runs)."""
+    scalar, columnar, _ = probe_pair(algorithm, w_timeout=512)
+    assert_probes_identical(scalar, columnar)
+
+
+def test_parity_under_heavy_ack_loss():
+    """Heavily fragmented ladders run real rounds; results stay identical."""
+    condition = NetworkCondition(average_rtt=0.5, rtt_std=0.0, loss_rate=0.08)
+    for algorithm in ("reno", "cubic-b", "illinois"):
+        scalar, columnar, engine = probe_pair(algorithm, w_timeout=64,
+                                              condition=condition, seed=3)
+        assert_probes_identical(scalar, columnar)
+        assert engine.stats.real_rounds > 0
+
+
+def test_cohort_results_independent_of_cohort_size():
+    """A mixed cohort equals per-probe scalar runs at any chunking."""
+    algorithms = ["reno", "cubic-b", "hstcp", "bic", "vegas", "illinois",
+                  "yeah", "veno", "stcp", "htcp"]
+    condition = NetworkCondition(average_rtt=0.1, rtt_std=0.02, loss_rate=0.001)
+    config = GatherConfig(w_timeout=64, mss=100)
+
+    def scalar_run():
+        gatherer = TraceGatherer(config)
+        return [gatherer.gather_probe(make_synthetic_server(algorithm),
+                                      condition, np.random.default_rng(seed))
+                for seed, algorithm in enumerate(algorithms)]
+
+    def columnar_run(chunk):
+        jobs = [ProbeJob(make_synthetic_server(algorithm), condition,
+                         np.random.default_rng(seed), config)
+                for seed, algorithm in enumerate(algorithms)]
+        probes = []
+        for lo in range(0, len(jobs), chunk):
+            probes.extend(ColumnarProbeEngine().gather_probes(jobs[lo:lo + chunk]))
+        return probes
+
+    baseline = scalar_run()
+    for chunk in (1, 3, len(algorithms)):
+        for scalar, columnar in zip(baseline, columnar_run(chunk)):
+            assert_probes_identical(scalar, columnar)
+
+
+class _RootGrowth(CongestionAvoidance):
+    """A non-registry algorithm: the engine has no kernel for it."""
+
+    name = "root-test"
+    label = "RootGrowth (test)"
+    batch_decoupled = True
+
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        state.cwnd += 1.0 / (state.cwnd ** 0.5)
+
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        return state.cwnd * 0.5
+
+
+class _CustomAlgorithmServer(SyntheticServer):
+    """Synthetic server running an algorithm the registry does not know."""
+
+    def open_connection(self, mss, now, requested_bytes):
+        if not self.accepts_mss(mss):
+            return None
+        sender = TcpSender(_RootGrowth(), self.sender_config_factory(mss))
+        sender.enqueue_bytes(requested_bytes)
+        return sender
+
+
+def test_custom_algorithm_is_rejected_and_runs_scalar():
+    """A non-registry subclass fails sender admission; the whole trace runs
+    on the scalar engine with an identical stream and outcome."""
+
+    def factory(_algorithm, **sender_kwargs):
+        def config_factory(mss):
+            return SenderConfig(mss=mss, initial_window=3, **sender_kwargs)
+        return _CustomAlgorithmServer(algorithm_name="reno",
+                                      sender_config_factory=config_factory)
+
+    assert not sender_admissible(TcpSender(_RootGrowth(), SenderConfig(mss=100)))
+    scalar, columnar, engine = probe_pair("unused", server_factory=factory)
+    assert_probes_identical(scalar, columnar)
+    assert engine.stats.admission_rejects > 0
+    assert engine.stats.scalar_seconds > 0
+    assert engine.stats.columnar_traces == 0
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHM_NAMES)
+def test_divergent_lanes_finish_identically(algorithm):
+    """Every registry algorithm survives mid-probe divergence: the lossy path
+    drops rounds to the real engine (or the whole trace to the scalar one)
+    and still lands on the scalar stream and outcome."""
+    condition = NetworkCondition(average_rtt=0.3, rtt_std=0.05, loss_rate=0.03)
+    scalar, columnar, _ = probe_pair(algorithm, w_timeout=64,
+                                     condition=condition, seed=17)
+    assert_probes_identical(scalar, columnar)
+
+
+def test_forced_hook_shape_eject(monkeypatch):
+    """A batch hook that answers in the legacy log shape mid-round forces the
+    safety-net eject: rng rewind plus a full scalar replay of the trace."""
+    monkeypatch.setattr(Reno, "on_ack_avoidance_batch",
+                        CongestionAvoidance.on_ack_avoidance_batch)
+    scalar, columnar, engine = probe_pair("reno", w_timeout=64)
+    assert_probes_identical(scalar, columnar)
+    assert engine.stats.ejected_traces > 0
+    assert engine.stats.ejects_by_reason.get("hook-shape", 0) > 0
+
+
+def make_caching_web_server():
+    site = WebSite(pages={
+        "/index.html": WebPage(path="/index.html", size=20_000,
+                               links=("/big.bin",)),
+        "/big.bin": WebPage(path="/big.bin", size=500_000),
+    })
+    profile = ServerProfile(server_id="cache-test", tcp_algorithm="reno",
+                            ssthresh_caching=True, ssthresh_cache_ttl=1e6)
+    return WebServer(profile, site, probe_path="/big.bin")
+
+
+def test_caching_server_state_restored_across_eject(monkeypatch):
+    """The eject's replay opens a second connection per trace; the engine
+    snapshots and restores the ssthresh cache so a caching Web server ends a
+    probe in exactly the state the scalar engine leaves it in."""
+    monkeypatch.setattr(Reno, "on_ack_avoidance_batch",
+                        CongestionAvoidance.on_ack_avoidance_batch)
+    config = GatherConfig(w_timeout=64, mss=100)
+
+    scalar_server = make_caching_web_server()
+    scalar = TraceGatherer(config).gather_probe(
+        scalar_server, NetworkCondition.ideal(), np.random.default_rng(5))
+
+    columnar_server = make_caching_web_server()
+    engine = ColumnarProbeEngine()
+    columnar = engine.gather_probes([ProbeJob(
+        columnar_server, NetworkCondition.ideal(),
+        np.random.default_rng(5), config)])[0]
+
+    assert engine.stats.ejected_traces > 0
+    assert_probes_identical(scalar, columnar)
+    assert columnar_server._cached_ssthresh == scalar_server._cached_ssthresh
+    assert columnar_server._cache_time == scalar_server._cache_time
+    assert columnar_server.connections_opened == scalar_server.connections_opened
+
+
+def test_census_report_identical_with_columnar_disabled(monkeypatch,
+                                                        trained_classifier):
+    """End to end: ``REPRO_COLUMNAR=0`` restores the historic census path
+    bit-identically."""
+    reports = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(COLUMNAR_ENV, knob)
+        population = ServerPopulation(PopulationConfig(size=12, seed=99))
+        population.generate()
+        runner = CensusRunner(trained_classifier,
+                              CensusConfig(seed=5, backend="serial"))
+        reports[knob] = runner.run(population)
+    columnar, scalar = reports["1"], reports["0"]
+    assert len(columnar) == len(scalar)
+    assert columnar.outcomes == scalar.outcomes
+
+
+def test_training_examples_identical_with_columnar_disabled(monkeypatch):
+    """The training-set builder is bit-identical across the columnar knob."""
+    from repro.core.training import TrainingSetBuilder
+    from repro.net.conditions import default_condition_database
+
+    vectors = {}
+    for knob in ("1", "0"):
+        monkeypatch.setenv(COLUMNAR_ENV, knob)
+        builder = TrainingSetBuilder(
+            conditions_per_pair=2, seed=13, w_timeouts=(64,),
+            algorithms=("reno", "cubic-b", "vegas", "westwood"),
+            condition_database=default_condition_database(size=200, seed=8))
+        examples = builder.build_examples()
+        vectors[knob] = [(e.algorithm, e.w_timeout, e.condition_index,
+                          tuple(e.vector.as_array()))
+                         for e in examples]
+    assert vectors["1"] == vectors["0"]
+
+
+class TestCohortKnobs:
+    def test_default_cohort_size(self, monkeypatch):
+        monkeypatch.delenv(COLUMNAR_COHORT_ENV, raising=False)
+        assert columnar_cohort_size() == DEFAULT_COHORT_SIZE
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("17", 17), ("1", 1), ("0", 1), ("-5", 1),
+        ("garbage", DEFAULT_COHORT_SIZE), ("", DEFAULT_COHORT_SIZE),
+    ])
+    def test_cohort_size_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(COLUMNAR_COHORT_ENV, raw)
+        assert columnar_cohort_size() == expected
