@@ -1,0 +1,180 @@
+"""CI check: the census under a deterministic fault plan stays reproducible.
+
+Exercises the fault-injection subsystem (``repro.faults``) the way CI
+exercises resume: every guarantee that docs/ROBUSTNESS.md makes is checked
+byte for byte.
+
+1. **Chaos determinism** — a census under a seeded fault plan (flaky hosts,
+   a permanently dead host, truncated transfers, a dying worker) is run
+   twice against fresh populations: the reports must be bit-identical,
+   including retry counts and fault-event logs. The same census on the
+   ``process`` backend must match too.
+2. **Zero-fault parity** — the same census with the fault layer disabled
+   (no plan at all) must be byte-identical to the resilient configuration
+   with an *empty* plan: the fault layer may not perturb a single rng draw,
+   report byte, or checkpoint byte when it has nothing to inject.
+3. **Crash + resume** — a sharded census under a plan with a
+   ``torn_checkpoint`` fault dies mid-write exactly like a ``kill -9``
+   would; resuming it must complete and merge to the same bytes as an
+   uninterrupted monolithic run under the same plan.
+
+Any byte of difference fails the build::
+
+    PYTHONPATH=src python benchmarks/check_chaos_census.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.checkpoint import TornWriteError
+from repro.core.classifier import CaaiClassifier
+from repro.core.training import TrainingSetBuilder
+from repro.faults import FaultPlan, FaultSpec
+from repro.net.conditions import default_condition_database
+from repro.web.population import PopulationConfig, ServerPopulation
+
+SERVERS = 24
+CENSUS_SEED = 17
+POPULATION_SEED = 424
+
+CHAOS_PLAN = FaultPlan(seed=99, specs=(
+    FaultSpec(kind="unresponsive", probability=0.25, persist_attempts=1),
+    FaultSpec(kind="connection_reset", probability=0.1,
+              persist_attempts=None),
+    FaultSpec(kind="truncated_response", probability=0.2,
+              persist_attempts=2),
+    FaultSpec(kind="worker_death", probability=0.15, persist_attempts=1),
+))
+
+TORN_PLAN = FaultPlan(seed=99, specs=CHAOS_PLAN.specs + (
+    FaultSpec(kind="torn_checkpoint", scope="1", at_round=2,
+              persist_attempts=1),))
+
+
+def train_classifier() -> CaaiClassifier:
+    builder = TrainingSetBuilder(
+        conditions_per_pair=2, seed=31, w_timeouts=(64,),
+        algorithms=("reno", "cubic-b", "vegas", "westwood"),
+        condition_database=default_condition_database(size=200, seed=9))
+    classifier = CaaiClassifier(n_trees=20, seed=5)
+    classifier.train(builder.build_dataset())
+    return classifier
+
+
+def fresh_population() -> ServerPopulation:
+    # Probing mutates server state (connection counters, cached TCP state),
+    # so every run gets its own identically seeded population.
+    population = ServerPopulation(
+        PopulationConfig(size=SERVERS, seed=POPULATION_SEED))
+    population.generate()
+    return population
+
+
+def report_bytes(report) -> bytes:
+    return json.dumps([outcome.to_json_dict() for outcome in report.outcomes],
+                      sort_keys=True).encode("utf-8")
+
+
+def run_census(classifier, config: CensusConfig) -> bytes:
+    return report_bytes(CensusRunner(classifier, config).run(
+        fresh_population()))
+
+
+def checkpoint_hashes(classifier, config: CensusConfig,
+                      directory: Path) -> dict[str, str]:
+    runner = CensusRunner(classifier, config)
+    runner.run_sharded(fresh_population(), directory, num_shards=3,
+                       settings={"check": "chaos"})
+    return {entry.name: hashlib.sha256(entry.read_bytes()).hexdigest()
+            for entry in sorted(directory.iterdir())}
+
+
+def check_chaos_determinism(classifier) -> None:
+    print("1) chaos determinism: same plan, fresh populations ...",
+          flush=True)
+    config = CensusConfig(seed=CENSUS_SEED, fault_plan=CHAOS_PLAN,
+                          backoff_base=0.1, backoff_max=1.0)
+    first = run_census(classifier, config)
+    second = run_census(classifier, config)
+    if first != second:
+        raise SystemExit("FAIL: two runs under the same fault plan differ")
+    multiprocess = run_census(
+        classifier, CensusConfig(seed=CENSUS_SEED, fault_plan=CHAOS_PLAN,
+                                 backoff_base=0.1, backoff_max=1.0,
+                                 backend="process", max_workers=2))
+    if first != multiprocess:
+        raise SystemExit("FAIL: fault-plan census differs between the "
+                         "serial and process backends")
+    report = json.loads(first)
+    statuses = sorted({outcome.get("status", "identified")
+                       for outcome in report if "status" in outcome})
+    retries = sum(outcome.get("attempts", 1) - 1 for outcome in report)
+    if retries == 0:
+        raise SystemExit("FAIL: the chaos plan injected no retries — the "
+                         "fault layer did not engage")
+    print(f"   OK: {len(report)} servers, {retries} retries, "
+          f"statuses seen: {statuses}")
+
+
+def check_zero_fault_parity(classifier) -> None:
+    print("2) zero-fault parity: empty plan vs no fault layer ...",
+          flush=True)
+    baseline = CensusConfig(seed=CENSUS_SEED)
+    empty_plan = CensusConfig(seed=CENSUS_SEED, fault_plan=FaultPlan())
+    if run_census(classifier, baseline) != run_census(classifier, empty_plan):
+        raise SystemExit("FAIL: an empty fault plan changed report bytes")
+    with tempfile.TemporaryDirectory() as scratch:
+        reference = checkpoint_hashes(classifier, baseline,
+                                      Path(scratch) / "plain")
+        resilient = checkpoint_hashes(classifier, empty_plan,
+                                      Path(scratch) / "empty-plan")
+    if reference != resilient:
+        raise SystemExit("FAIL: an empty fault plan changed checkpoint bytes")
+    print(f"   OK: report and all {len(reference)} checkpoint files "
+          "byte-identical")
+
+
+def check_crash_and_resume(classifier) -> None:
+    print("3) crash + resume: torn shard write mid-census ...", flush=True)
+    config = CensusConfig(seed=CENSUS_SEED, fault_plan=TORN_PLAN,
+                          backoff_base=0.1, backoff_max=1.0)
+    reference = run_census(
+        classifier, CensusConfig(seed=CENSUS_SEED, fault_plan=CHAOS_PLAN,
+                                 backoff_base=0.1, backoff_max=1.0))
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = Path(scratch) / "ckpt"
+        runner = CensusRunner(classifier, config)
+        try:
+            runner.run_sharded(fresh_population(), directory, num_shards=3,
+                               settings={"check": "chaos"})
+        except TornWriteError as error:
+            print(f"   torn write (as planned): {error.path.name}; "
+                  f"hint: {error.hint}")
+        else:
+            raise SystemExit("FAIL: the torn_checkpoint fault never fired")
+        merged = runner.resume(fresh_population(), directory)
+        if merged is None:
+            raise SystemExit("FAIL: resume left shards pending")
+    if report_bytes(merged) != reference:
+        raise SystemExit("FAIL: resumed census differs from the "
+                         "uninterrupted run under the same probe faults")
+    print("   OK: resumed merge bit-identical to the uninterrupted run")
+
+
+def main() -> None:
+    print("training classifier ...", flush=True)
+    classifier = train_classifier()
+    check_chaos_determinism(classifier)
+    check_zero_fault_parity(classifier)
+    check_crash_and_resume(classifier)
+    print("OK: chaos census deterministic, zero-fault parity holds, "
+          "crash + resume bit-identical")
+
+
+if __name__ == "__main__":
+    main()

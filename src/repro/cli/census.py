@@ -30,6 +30,7 @@ from repro.core.checkpoint import CensusCheckpoint, CheckpointError
 from repro.core.classifier import CaaiClassifier
 from repro.core.results import CensusReport
 from repro.core.training import TrainingSetBuilder
+from repro.faults import FaultPlan
 from repro.net.conditions import CONDITION_DB_PRESETS, condition_database_preset
 from repro.parallel import BACKENDS
 from repro.web.population import PopulationConfig, ServerPopulation
@@ -53,6 +54,8 @@ def main(argv: list[str] | None = None) -> int:
         return args.handler(args)
     except (CheckpointError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
+        if isinstance(error, CheckpointError) and error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
         return 2
 
 
@@ -77,6 +80,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "trees": args.trees,
         "forest_seed": args.forest_seed,
     }
+    # Resilience knobs are stored only when set, so a census run without
+    # them writes a manifest byte-identical to earlier releases.
+    if args.fault_plan is not None:
+        settings["fault_plan"] = _load_fault_plan(args.fault_plan).to_json_dict()
+    if args.probe_deadline is not None:
+        settings["probe_deadline"] = args.probe_deadline
+    if args.max_probe_attempts != 3:
+        settings["max_probe_attempts"] = args.max_probe_attempts
     runner = _build_runner(settings, backend=args.backend, workers=args.workers)
     population = _build_population(settings)
     print(f"running census of {args.servers} servers over {args.shards} shards "
@@ -158,9 +169,38 @@ def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRu
     classifier = CaaiClassifier(n_trees=settings["trees"],
                                 seed=settings["forest_seed"])
     classifier.train(builder.build_dataset())
+    fault_plan = None
+    if settings.get("fault_plan"):
+        fault_plan = FaultPlan.from_json_dict(settings["fault_plan"])
     config = CensusConfig(seed=settings["seed"], backend=backend,
-                          max_workers=workers)
+                          max_workers=workers,
+                          fault_plan=fault_plan,
+                          probe_deadline=settings.get("probe_deadline"),
+                          max_probe_attempts=settings.get("max_probe_attempts", 3))
     return CensusRunner(classifier, config)
+
+
+def _load_fault_plan(path: str) -> FaultPlan:
+    """Load and validate a :class:`FaultPlan` from a JSON file.
+
+    Args:
+        path: Path of a JSON file matching ``FaultPlan.to_json_dict``.
+
+    Returns:
+        The validated plan.
+    """
+    try:
+        with open(path, encoding="utf-8") as stream:
+            data = json.load(stream)
+    except OSError as error:
+        raise ValueError(f"cannot read fault plan {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"fault plan {path} is not valid JSON: {error}"
+                         ) from error
+    try:
+        return FaultPlan.from_json_dict(data)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"fault plan {path} is invalid: {error}") from error
 
 
 def _build_population(settings: dict) -> ServerPopulation:
@@ -197,6 +237,12 @@ def _print_report(report: CensusReport) -> None:
     print(f"\nServers probed: {len(report)}")
     print(f"Valid traces:   {len(report.valid_outcomes)} "
           f"({100 * report.valid_fraction():.1f}%)")
+    if report.has_fault_accounting():
+        counts = report.status_counts()
+        print("Statuses:       "
+              + ", ".join(f"{status}={count}"
+                          for status, count in sorted(counts.items())))
+        print(f"Probe retries:  {report.retry_total()}")
     rows = [[label, f"{overall:.2f}"]
             for label, _, overall in report.table_rows()]
     print(format_table(["Category", "% of valid servers"], rows,
@@ -216,6 +262,10 @@ def _write_json(report: CensusReport, path: str) -> None:
         "invalid_reason_shares": report.invalid_reason_shares(),
         "outcomes": [outcome.to_json_dict() for outcome in report.outcomes],
     }
+    # Only reports with retry/fault accounting carry a resilience section,
+    # so faults-off report files stay byte-identical to earlier releases.
+    if report.has_fault_accounting():
+        payload["resilience"] = report.resilience_summary()
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True)
 
@@ -256,6 +306,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="random-forest size (default: 60)")
     run.add_argument("--forest-seed", type=int, default=0,
                      help="seed of the random forest")
+    run.add_argument("--fault-plan", default=None,
+                     help="JSON file with a deterministic fault plan to "
+                          "inject (see docs/ROBUSTNESS.md); stored in the "
+                          "manifest so resume replays the same plan")
+    run.add_argument("--probe-deadline", type=float, default=None,
+                     help="per-probe budget in simulated seconds; a probe "
+                          "past it is recorded as probe_timeout")
+    run.add_argument("--max-probe-attempts", type=int, default=3,
+                     help="probe attempts per server before a transient "
+                          "fault is recorded as a failure (default: 3)")
     _add_execution_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

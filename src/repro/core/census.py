@@ -27,6 +27,7 @@ Execution is organised in two phases so both hot paths scale:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,7 +50,8 @@ from repro.core.labels import UNSURE
 from repro.core.results import CensusReport, ServerOutcome
 from repro.core.special_cases import detect_shape_case, detect_stalled_case
 from repro.core.trace import InvalidReason, ProbeTrace
-from repro.parallel import ParallelExecutor, task_seeds
+from repro.faults import FaultInjected, FaultPlan, FaultyServer, WorkerDeathFault
+from repro.parallel import ParallelExecutor, TaskFailure, task_seeds
 from repro.web.crawler import PageSearchTool
 from repro.web.population import ServerPopulation, ServerRecord
 
@@ -69,6 +71,42 @@ class CensusConfig:
     backend: str = "serial"
     #: Worker processes for the ``process`` backend (``None`` = one per CPU).
     max_workers: int | None = None
+    #: Deterministic fault plan to run the census under (``None`` = no
+    #: injection; see docs/ROBUSTNESS.md).
+    fault_plan: FaultPlan | None = None
+    #: Per-environment probe deadline budget in simulated seconds (``None``
+    #: = unbounded). Probes exceeding it are recorded as ``probe_timeout``.
+    probe_deadline: float | None = None
+    #: Probe attempts per server before a transient fault is given up on.
+    max_probe_attempts: int = 3
+    #: First retry's maximum backoff in simulated seconds; doubles per
+    #: attempt (full jitter, drawn from the attempt's own rng stream).
+    backoff_base: float = 0.5
+    #: Ceiling on a single backoff draw in simulated seconds.
+    backoff_max: float = 30.0
+    #: Wall-clock seconds one probe task may run on the ``process`` backend
+    #: (``None`` = unbounded). Execution-only: cannot change report content.
+    task_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_probe_attempts < 1:
+            raise ValueError("max_probe_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base and backoff_max must be "
+                             "non-negative")
+        if self.probe_deadline is not None and self.probe_deadline <= 0:
+            raise ValueError("probe_deadline must be positive (or None)")
+
+    def resilience_active(self) -> bool:
+        """Whether any probe needs the resilient (retrying) probe path.
+
+        Returns:
+            ``True`` when a non-empty fault plan or a probe deadline is
+            configured; ``False`` keeps every server on the exact historic
+            code path (and rng stream).
+        """
+        return ((self.fault_plan is not None and not self.fault_plan.empty)
+                or self.probe_deadline is not None)
 
 
 def _prepare_probe(record: ServerRecord, crawler: PageSearchTool,
@@ -143,7 +181,8 @@ def probe_server(record: ServerRecord, crawler: PageSearchTool,
     probe = probe_with_w_timeout_ladder(
         record.server, record.condition, rng, mss,
         server_id=record.profile.server_id,
-        wait_between_environments=config.wait_between_environments)
+        wait_between_environments=config.wait_between_environments,
+        deadline=config.probe_deadline)
     return _finish_probe(outcome, probe, record.profile)
 
 
@@ -174,10 +213,152 @@ def _init_probe_worker(config: CensusConfig) -> None:
     _PROBE_WORKER["crawler"] = PageSearchTool(page_budget=config.crawler_page_budget)
 
 
+def _attempt_seed(seed_sequence: np.random.SeedSequence,
+                  attempt: int) -> np.random.SeedSequence:
+    """The deterministic rng seed of one probe attempt.
+
+    Attempt 0 is the task's own seed sequence — bit-identical to the
+    pre-resilience code path. Retries use the children ``spawn`` would
+    produce, derived *purely* (no mutation of the parent's spawn counter),
+    so the stream of attempt ``k`` depends only on (census seed, population
+    index, ``k``) — never on scheduling or on how other servers fared.
+
+    Args:
+        seed_sequence: The task's per-server seed sequence.
+        attempt: Zero-based probe attempt.
+
+    Returns:
+        The seed sequence to build the attempt's rng from.
+    """
+    if attempt == 0:
+        return seed_sequence
+    return np.random.SeedSequence(
+        entropy=seed_sequence.entropy,
+        spawn_key=tuple(seed_sequence.spawn_key) + (attempt - 1,))
+
+
+def _fault_failure_outcome(record: ServerRecord,
+                           fault: FaultInjected) -> ServerOutcome:
+    """Terminal outcome for a server whose fault never cleared."""
+    profile = record.profile
+    return ServerOutcome(
+        server_id=profile.server_id,
+        valid=False,
+        invalid_reason=fault.invalid_reason,
+        true_algorithm=profile.effective_algorithm(),
+        software=profile.software,
+        region=profile.region,
+    )
+
+
+def _resilient_probe(record: ServerRecord, crawler: PageSearchTool,
+                     config: CensusConfig,
+                     seed_sequence: np.random.SeedSequence
+                     ) -> tuple[ServerOutcome, ProbeTrace | None]:
+    """Probe one server with retries, backoff, and fault classification.
+
+    Each attempt gets its own deterministic rng stream
+    (:func:`_attempt_seed`); a retry first draws its full-jitter backoff
+    (``uniform(0, min(backoff_max, backoff_base * 2**(k-1)))``) from that
+    stream, accumulating into the outcome's ``backoff_total``. A
+    :class:`~repro.faults.plan.FaultInjected` marked transient is retried up
+    to ``max_probe_attempts``; a permanent one fails fast. The returned
+    outcome carries the full accounting (attempts, backoff, fault events).
+    """
+    plan = config.fault_plan if config.fault_plan is not None else FaultPlan()
+    server_id = record.profile.server_id
+    fault_events: list[tuple[str, int]] = []
+    backoff_total = 0.0
+    last_fault: FaultInjected | None = None
+    outcome: ServerOutcome | None = None
+    probe: ProbeTrace | None = None
+    attempts_used = 0
+    for attempt in range(config.max_probe_attempts):
+        attempts_used = attempt + 1
+        rng = np.random.default_rng(_attempt_seed(seed_sequence, attempt))
+        if attempt > 0:
+            cap = min(config.backoff_max,
+                      config.backoff_base * 2.0 ** (attempt - 1))
+            backoff_total += float(rng.uniform(0.0, cap))
+        specs = plan.probe_faults(server_id, attempt)
+        wrapper: FaultyServer | None = None
+        probe_record = record
+        if specs:
+            wrapper = FaultyServer(record.server, specs)
+            probe_record = dataclasses.replace(record, server=wrapper)
+        try:
+            outcome, probe = probe_server(probe_record, crawler, config, rng)
+        except FaultInjected as fault:
+            last_fault = fault
+            if wrapper is not None:
+                fault_events.extend((event["kind"], attempt)
+                                    for event in wrapper.events)
+            if not fault.transient:
+                break
+            continue
+        if wrapper is not None:
+            fault_events.extend((event["kind"], attempt)
+                                for event in wrapper.events)
+        break
+    if outcome is None:
+        assert last_fault is not None
+        outcome = _fault_failure_outcome(record, last_fault)
+        probe = None
+    outcome.attempts = attempts_used
+    outcome.backoff_total = backoff_total
+    outcome.fault_events = tuple(fault_events)
+    return outcome, probe
+
+
+def _check_worker_death(tasks: list[tuple[ServerRecord, np.random.SeedSequence]],
+                        config: CensusConfig) -> None:
+    """Raise the injected worker death for this task, if the plan says so.
+
+    A task dies when the plan's ``worker_death`` fires for *any* server in
+    it (a dying worker takes its whole cohort down), with the scope key
+    being each server's id and the execution attempt the per-process
+    ``_PROBE_WORKER["exec_attempt"]`` counter (0 in the pool; incremented
+    by the in-process recovery re-runs). Keying on server ids — not on the
+    cohort — makes the set of victims identical whatever the backend,
+    columnar cohort size, or engine tier.
+    """
+    plan = config.fault_plan
+    if plan is None or plan.empty:
+        return
+    attempt = _PROBE_WORKER.get("exec_attempt", 0)
+    for record, _ in tasks:
+        scope = record.profile.server_id
+        if plan.worker_death_fires(scope, attempt):
+            raise WorkerDeathFault(
+                f"injected worker death (task scope {scope}, "
+                f"attempt {attempt})")
+
+
+def _execution_event_kind(failure: TaskFailure) -> str:
+    """Fault-event kind recorded for one captured execution failure."""
+    if failure.error_type == "WorkerDeathFault":
+        return "worker_death"
+    if failure.error_type == "TimeoutError":
+        return "task_timeout"
+    return "task_error"
+
+
+def _describe_probe_task(index: int, task) -> str:
+    """Human-readable context stored on a :class:`TaskFailure` slot."""
+    if isinstance(task, list):
+        first = task[0][0].profile.server_id
+        return f"cohort[{len(task)}] starting at server {first}"
+    return f"server {task[0].profile.server_id}"
+
+
 def _probe_task(task: tuple[ServerRecord, np.random.SeedSequence]
                 ) -> tuple[ServerOutcome, ProbeTrace | None]:
     record, seed = task
-    return probe_server(record, _PROBE_WORKER["crawler"], _PROBE_WORKER["config"],
+    config = _PROBE_WORKER["config"]
+    _check_worker_death([task], config)
+    if config.resilience_active():
+        return _resilient_probe(record, _PROBE_WORKER["crawler"], config, seed)
+    return probe_server(record, _PROBE_WORKER["crawler"], config,
                         np.random.default_rng(seed))
 
 
@@ -189,28 +370,45 @@ def _probe_chunk_task(tasks: list[tuple[ServerRecord, np.random.SeedSequence]]
     sequentially through its ladder lane, so the outcomes are bit-identical
     to running :func:`probe_server` per record -- the cohort only changes
     *where* the clean-round arithmetic executes.
+
+    When resilience is active, servers a fault plan could touch (and every
+    server once a probe deadline is set) run the resilient scalar path in
+    their cohort slot instead of a lane: fault wrappers and retry loops are
+    exact there, while untouched servers keep the columnar fast path.
     """
     config = _PROBE_WORKER["config"]
     crawler = _PROBE_WORKER["crawler"]
-    prepared: list[tuple[ServerOutcome, LadderLane | None, ServerRecord]] = []
+    _check_worker_death(tasks, config)
+    plan = config.fault_plan
+    resilient_slots: set[int] = set()
+    if config.resilience_active():
+        for index, (record, _) in enumerate(tasks):
+            if (config.probe_deadline is not None
+                    or (plan is not None
+                        and plan.targets_server(record.profile.server_id))):
+                resilient_slots.add(index)
+    results: list = [None] * len(tasks)
+    prepared: list[tuple[int, ServerOutcome, LadderLane | None, ServerRecord]] = []
     lanes: list[LadderLane] = []
-    for record, seed in tasks:
+    for index, (record, seed) in enumerate(tasks):
+        if index in resilient_slots:
+            results[index] = _resilient_probe(record, crawler, config, seed)
+            continue
         outcome, mss = _prepare_probe(record, crawler, config)
         if mss is None:
-            prepared.append((outcome, None, record))
+            prepared.append((index, outcome, None, record))
             continue
         lane = LadderLane(record.server, record.condition,
                           np.random.default_rng(seed), mss,
                           server_id=record.profile.server_id,
                           wait_between_environments=config.wait_between_environments)
-        prepared.append((outcome, lane, record))
+        prepared.append((index, outcome, lane, record))
         lanes.append(lane)
     ColumnarProbeEngine().run(lanes)
-    return [
-        (outcome, None) if lane is None
-        else _finish_probe(outcome, lane.result, record.profile)
-        for outcome, lane, record in prepared
-    ]
+    for index, outcome, lane, record in prepared:
+        results[index] = ((outcome, None) if lane is None
+                          else _finish_probe(outcome, lane.result, record.profile))
+    return results
 
 
 @dataclass
@@ -389,9 +587,17 @@ class CensusRunner:
         bit-identical to the same servers inside a monolithic run. Callers
         measuring several subsets pass the precomputed full-population
         ``seeds`` list to avoid re-deriving it per subset.
+
+        When execution faults are possible (a fault plan with
+        ``worker_death`` specs, or a ``task_timeout``), task failures are
+        captured as :class:`~repro.parallel.TaskFailure` slots and recovered
+        deterministically by :meth:`_recover_task_failures` instead of
+        aborting the census.
         """
+        capture = self._capture_failures()
         executor = self.executor or ParallelExecutor(
-            backend=self.config.backend, max_workers=self.config.max_workers)
+            backend=self.config.backend, max_workers=self.config.max_workers,
+            capture_failures=capture, task_timeout=self.config.task_timeout)
         if seeds is None:
             seeds = task_seeds(self.config.seed, len(records))
         tasks = [(records[i], seeds[i]) for i in indices]
@@ -403,30 +609,150 @@ class CensusRunner:
             chunks = [tasks[lo:lo + size] for lo in range(0, len(tasks), size)]
             per_chunk = executor.map(_probe_chunk_task, chunks,
                                      initializer=_init_probe_worker,
-                                     initargs=(self.config,))
+                                     initargs=(self.config,),
+                                     describe=_describe_probe_task)
+            if capture:
+                per_chunk = self._recover_task_failures(
+                    chunks, per_chunk, chunked=True)
             partials = [pair for chunk in per_chunk for pair in chunk]
         else:
             partials = executor.map(_probe_task, tasks,
                                     initializer=_init_probe_worker,
-                                    initargs=(self.config,))
+                                    initargs=(self.config,),
+                                    describe=_describe_probe_task)
+            if capture:
+                partials = self._recover_task_failures(
+                    tasks, partials, chunked=False)
         pending = [(outcome, probe) for outcome, probe in partials if probe is not None]
         self._classify_pending(pending)
         return [outcome for outcome, _ in partials]
 
+    def _capture_failures(self) -> bool:
+        """Whether the probe phase should capture per-task failures.
+
+        Returns:
+            ``True`` only when an execution fault is actually possible (a
+            plan with execution-layer specs, or a task timeout); otherwise
+            exceptions propagate exactly as they always have, so real bugs
+            are never silently converted into outcomes.
+        """
+        if self.config.task_timeout is not None:
+            return True
+        plan = self.config.fault_plan
+        return plan is not None and any(spec.kind == "worker_death"
+                                        for spec in plan.specs)
+
+    def _recover_task_failures(self, tasks: list, results: list,
+                               *, chunked: bool) -> list:
+        """Re-run failed task slots in-process, deterministically.
+
+        A dead worker (injected or real) leaves a
+        :class:`~repro.parallel.TaskFailure` in its slot. Every record of
+        the failed task is then re-run *individually* through the scalar
+        probe path with ``_PROBE_WORKER["exec_attempt"]`` incremented — the
+        injected ``worker_death`` decision is a pure function of (plan
+        seed, server id, attempt), so the recovered outcomes (and their
+        ``worker_death`` fault events, attached only to the servers the
+        plan actually targets) are bit-identical whatever the backend,
+        cohort size, or engine tier. Records whose every attempt died
+        yield synthesised ``worker_failed`` outcomes, so the census always
+        returns one outcome per server.
+        """
+        if not any(isinstance(result, TaskFailure) for result in results):
+            return results
+        _init_probe_worker(self.config)
+        recovered = list(results)
+        for slot, result in enumerate(results):
+            if not isinstance(result, TaskFailure):
+                continue
+            kind = _execution_event_kind(result)
+            task_items = tasks[slot] if chunked else [tasks[slot]]
+            pairs = [self._recover_record(item, kind) for item in task_items]
+            recovered[slot] = pairs if chunked else pairs[0]
+        return recovered
+
+    def _recover_record(self, task: tuple[ServerRecord, np.random.SeedSequence],
+                        kind: str) -> tuple[ServerOutcome, ProbeTrace | None]:
+        """Recover one record of a failed task by scalar re-runs.
+
+        For an injected ``worker_death`` the record's own failed attempts
+        are reconstructed from the plan (pure function of server id and
+        attempt); cohort-mates the plan never targeted recover with no
+        fault events, exactly as if their task had not shared a worker with
+        the victim. Real failures (``task_timeout`` / ``task_error``)
+        attach their event to every record of the dead task, and a real
+        exception that recurs on the in-process re-run still propagates
+        loudly.
+        """
+        record, _ = task
+        server_id = record.profile.server_id
+        plan = self.config.fault_plan
+        injected = kind == "worker_death" and plan is not None
+        if injected:
+            failed = [(kind, attempt)
+                      for attempt in range(self.config.max_probe_attempts)
+                      if plan.worker_death_fires(server_id, attempt)]
+        else:
+            failed = [(kind, 0)]
+        for attempt in range(1, self.config.max_probe_attempts):
+            if injected and plan.worker_death_fires(server_id, attempt):
+                continue
+            _PROBE_WORKER["exec_attempt"] = attempt
+            try:
+                pair = _probe_task(task)
+            finally:
+                _PROBE_WORKER.pop("exec_attempt", None)
+            outcome = pair[0]
+            if failed:
+                outcome.fault_events = outcome.fault_events + tuple(failed)
+            return pair
+        return self._worker_failed_outcome(record, failed)
+
+    @staticmethod
+    def _worker_failed_outcome(record: ServerRecord,
+                               failed_attempts: list[tuple[str, int]]
+                               ) -> tuple[ServerOutcome, None]:
+        """Synthesise a ``worker_failed`` outcome for an unrecoverable record."""
+        profile = record.profile
+        return (ServerOutcome(
+            server_id=profile.server_id,
+            valid=False,
+            invalid_reason=InvalidReason.WORKER_FAILED,
+            true_algorithm=profile.effective_algorithm(),
+            software=profile.software,
+            region=profile.region,
+            attempts=len(failed_attempts),
+            fault_events=tuple(failed_attempts),
+        ), None)
+
     def _run_pending_shards(self, checkpoint: CensusCheckpoint,
                             population: ServerPopulation,
                             stop_after_shards: int | None) -> CensusReport | None:
-        """Run every pending shard (up to ``stop_after_shards``), then merge."""
+        """Run every pending shard (up to ``stop_after_shards``), then merge.
+
+        A ``torn_checkpoint`` fault in the plan cuts the shard write short
+        and raises :class:`~repro.core.checkpoint.TornWriteError`, exactly
+        like a crash mid-write would; the shard stays pending and a resume
+        re-runs it (the rewrite is self-healing — ``write_shard`` truncates).
+        The write attempt is 1 when a partial shard file from an earlier
+        tear already exists, so ``persist_attempts=1`` tears exactly once.
+        """
         records = self._records(population)
         assignments = shard_assignments(
             [record.profile.server_id for record in records],
             checkpoint.seed, checkpoint.num_shards)
         seeds = task_seeds(self.config.seed, len(records))
+        plan = self.config.fault_plan
         completed_now = 0
         for shard_index in checkpoint.pending_shards():
             indices = assignments[shard_index]
             outcomes = self._measure_indices(records, indices, seeds=seeds)
-            checkpoint.write_shard(shard_index, list(zip(indices, outcomes)))
+            torn_after = None
+            if plan is not None and not plan.empty:
+                write_attempt = 1 if checkpoint.shard_path(shard_index).exists() else 0
+                torn_after = plan.torn_write_after(shard_index, write_attempt)
+            checkpoint.write_shard(shard_index, list(zip(indices, outcomes)),
+                                   torn_after=torn_after)
             completed_now += 1
             if stop_after_shards is not None and completed_now >= stop_after_shards:
                 break

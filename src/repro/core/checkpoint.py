@@ -56,7 +56,42 @@ SHARD_COMPLETE = "complete"
 
 
 class CheckpointError(RuntimeError):
-    """A checkpoint directory is missing, corrupt, or from a different run."""
+    """A checkpoint directory is missing, corrupt, or from a different run.
+
+    Besides the human-readable message, carries structured context so
+    callers (the CLI, the chaos harness) can point at the offending file and
+    print a one-line recovery hint without parsing the message text.
+
+    Attributes:
+        path: The file the error is about (``None`` when not file-specific).
+        hint: One-line recovery suggestion (``None`` when the message is
+            self-contained).
+    """
+
+    def __init__(self, message: str, *, path: "str | Path | None" = None,
+                 hint: str | None = None):
+        """Build the error with optional structured context.
+
+        Args:
+            message: The full human-readable description.
+            path: The offending file, when one is identifiable.
+            hint: One-line recovery suggestion.
+        """
+        super().__init__(message)
+        self.path = Path(path) if path is not None else None
+        self.hint = hint
+
+
+class TornWriteError(CheckpointError):
+    """A shard write was (deliberately) cut short mid-file.
+
+    Raised only by fault injection (``torn_checkpoint`` in a
+    :class:`~repro.faults.plan.FaultPlan`): the shard file is left truncated
+    — exactly what a crash during :meth:`CensusCheckpoint.write_shard` would
+    leave — and the manifest still marks the shard pending, so a subsequent
+    resume re-runs and rewrites it. Callers simulating crashes catch this
+    where a real crash would have killed the process.
+    """
 
 
 def write_json_atomic(path: str | Path, payload: dict) -> None:
@@ -149,6 +184,22 @@ def census_fingerprint(config: "CensusConfig", population: "ServerPopulation",
     census_fields = dataclasses.asdict(config)
     census_fields.pop("backend", None)
     census_fields.pop("max_workers", None)
+    # task_timeout is a wall-clock execution knob; it cannot change a
+    # (deterministic, simulated-time) report, only abort a run.
+    census_fields.pop("task_timeout", None)
+    # Resilience knobs at their neutral defaults hash exactly like configs
+    # that predate them, so old checkpoints stay resumable and fault-free
+    # runs write byte-identical manifests. An empty plan injects nothing,
+    # so it is as neutral as no plan at all.
+    plan = census_fields.get("fault_plan")
+    if plan is not None and not plan.get("specs"):
+        census_fields["fault_plan"] = None
+    neutral = {"fault_plan": None, "probe_deadline": None,
+               "max_probe_attempts": 3, "backoff_base": 0.5,
+               "backoff_max": 30.0}
+    for name, default in neutral.items():
+        if name in census_fields and census_fields[name] == default:
+            census_fields.pop(name)
     database = population.condition_database
     payload = {
         "format": CHECKPOINT_FORMAT_VERSION,
@@ -230,7 +281,10 @@ class CensusCheckpoint:
         if manifest_path.exists():
             raise CheckpointError(
                 f"checkpoint already exists at {manifest_path}; use resume, "
-                "or point --checkpoint at an empty directory to start over")
+                "or point --checkpoint at an empty directory to start over",
+                path=manifest_path,
+                hint="use resume, or point --checkpoint at an empty "
+                     "directory to start over")
 
     @classmethod
     def create(cls, directory: str | Path, *, seed: int, num_shards: int,
@@ -291,21 +345,27 @@ class CensusCheckpoint:
         if not manifest_path.exists():
             raise CheckpointError(
                 f"no checkpoint manifest at {manifest_path}; run a sharded "
-                "census first (python -m repro.census run)")
+                "census first (python -m repro.census run)",
+                path=manifest_path,
+                hint="run a sharded census first (python -m repro.census run)")
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except json.JSONDecodeError as error:
             raise CheckpointError(
                 f"checkpoint manifest {manifest_path} is not valid JSON "
                 f"({error}); the file is corrupt — delete the checkpoint "
-                "directory and rerun") from error
+                "directory and rerun",
+                path=manifest_path,
+                hint="delete the checkpoint directory and rerun") from error
         version = manifest.get("format")
         if version != CHECKPOINT_FORMAT_VERSION:
             raise CheckpointError(
                 f"checkpoint manifest {manifest_path} has format version "
                 f"{version!r}, this code reads version "
                 f"{CHECKPOINT_FORMAT_VERSION}; rerun the census with a fresh "
-                "checkpoint directory")
+                "checkpoint directory",
+                path=manifest_path,
+                hint="rerun the census with a fresh checkpoint directory")
         return cls(directory, manifest)
 
     def verify_fingerprint(self, fingerprint: str) -> None:
@@ -325,7 +385,10 @@ class CensusCheckpoint:
                 f"computes {fingerprint}. Resuming with a different census/"
                 "population/classifier configuration would silently mix "
                 "incompatible results — rerun with the original settings or "
-                "start a fresh checkpoint directory")
+                "start a fresh checkpoint directory",
+                path=self.directory / MANIFEST_NAME,
+                hint="rerun with the original settings or start a fresh "
+                     "checkpoint directory")
 
     # -------------------------------------------------------------- queries
     @property
@@ -386,7 +449,8 @@ class CensusCheckpoint:
 
     # -------------------------------------------------------------- writing
     def write_shard(self, shard_index: int,
-                    outcomes: list[tuple[int, ServerOutcome]]) -> None:
+                    outcomes: list[tuple[int, ServerOutcome]],
+                    torn_after: int | None = None) -> None:
         """Persist one completed shard and mark it complete in the manifest.
 
         The shard file is written as append-only JSONL — one ``outcome`` line
@@ -394,29 +458,53 @@ class CensusCheckpoint:
         ``shard-complete`` marker with the expected count — and flushed to
         disk before the manifest flips the shard to complete, so a crash
         between the two leaves a consistent "pending" shard that resume
-        simply re-runs.
+        simply re-runs. The file is opened in truncating mode, so rewriting
+        a shard left torn by an earlier crash is self-healing.
 
         Args:
             shard_index: Which shard the outcomes belong to.
             outcomes: ``(population_index, outcome)`` pairs for every server
                 of the shard.
+            torn_after: Fault injection only — cut the write after this many
+                outcome records (plus half of the next line) and raise
+                :class:`TornWriteError`, simulating a crash mid-write. The
+                manifest keeps the shard pending.
 
         Raises:
             CheckpointError: If the shard was already marked complete
                 (duplicate shard completion).
+            TornWriteError: When ``torn_after`` triggered the simulated
+                crash.
         """
         if self.shard_status(shard_index) == SHARD_COMPLETE:
             raise CheckpointError(
                 f"duplicate completion of shard {shard_index} in "
                 f"{self.directory}: the manifest already marks it complete. "
                 "Two writers are racing on the same checkpoint — run one "
-                "invocation at a time, or merge what is already there")
+                "invocation at a time, or merge what is already there",
+                path=self.shard_path(shard_index),
+                hint="run one invocation at a time, or merge what is "
+                     "already there")
         path = self.shard_path(shard_index)
         with open(path, "w", encoding="utf-8") as stream:
-            for index, outcome in outcomes:
+            for count, (index, outcome) in enumerate(outcomes):
                 line = json.dumps({"kind": "outcome", "index": index,
                                    "outcome": outcome.to_json_dict()},
                                   sort_keys=True)
+                if torn_after is not None and count >= torn_after:
+                    # Write half a record with no newline — the exact
+                    # footprint of a process dying mid-``write`` — and stop
+                    # before the completion marker or the manifest flip.
+                    stream.write(line[:max(1, len(line) // 2)])
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                    raise TornWriteError(
+                        f"shard file {path} write torn after {count} records "
+                        "(injected torn_checkpoint fault); the shard stays "
+                        "pending — resume re-runs and rewrites it",
+                        path=path,
+                        hint="resume the census; the pending shard is "
+                             "rewritten from scratch")
                 stream.write(line + "\n")
             stream.write(json.dumps({"kind": "shard-complete",
                                      "shard": shard_index,
@@ -452,14 +540,20 @@ class CensusCheckpoint:
                 f"shard file {path} is missing although the manifest marks "
                 f"shard {shard_index} complete; the checkpoint directory was "
                 "partially deleted — rerun the shard by resetting it to "
-                "pending in the manifest, or start a fresh checkpoint")
+                "pending in the manifest, or start a fresh checkpoint",
+                path=path,
+                hint="reset the shard to \"pending\" in the manifest, or "
+                     "start a fresh checkpoint")
         raw = path.read_text(encoding="utf-8")
         if raw and not raw.endswith("\n"):
             raise CheckpointError(
                 f"shard file {path} ends in a truncated line (no trailing "
                 "newline): the writing process died mid-record. Delete the "
                 "file and set the shard back to \"pending\" in the manifest "
-                "(or start a fresh checkpoint) so resume re-runs it")
+                "(or start a fresh checkpoint) so resume re-runs it",
+                path=path,
+                hint="delete the file and set the shard back to \"pending\" "
+                     "in the manifest so resume re-runs it")
         outcomes: list[tuple[int, ServerOutcome]] = []
         seen_indices: set[int] = set()
         complete_count: int | None = None
@@ -471,7 +565,11 @@ class CensusCheckpoint:
                     f"shard file {path} line {line_number} is not valid JSON "
                     f"({error}); the file is corrupt — delete it and set the "
                     "shard back to \"pending\" in the manifest so resume "
-                    "re-runs it") from error
+                    "re-runs it",
+                    path=path,
+                    hint="delete the file and set the shard back to "
+                         "\"pending\" in the manifest so resume re-runs "
+                         "it") from error
             kind = record.get("kind") if isinstance(record, dict) else None
             try:
                 if kind == "outcome":
@@ -479,13 +577,17 @@ class CensusCheckpoint:
                         raise CheckpointError(
                             f"shard file {path} has outcome records after the "
                             "shard-complete marker (two writers appended to the "
-                            "same shard); delete the file and re-run the shard")
+                            "same shard); delete the file and re-run the shard",
+                            path=path,
+                            hint="delete the file and re-run the shard")
                     index = int(record["index"])
                     if index in seen_indices:
                         raise CheckpointError(
                             f"shard file {path} repeats population index {index} "
                             f"(line {line_number}); the shard was written twice — "
-                            "delete the file and re-run the shard")
+                            "delete the file and re-run the shard",
+                            path=path,
+                            hint="delete the file and re-run the shard")
                     seen_indices.add(index)
                     outcomes.append(
                         (index, ServerOutcome.from_json_dict(record["outcome"])))
@@ -494,36 +596,52 @@ class CensusCheckpoint:
                         raise CheckpointError(
                             f"shard file {path} carries two shard-complete "
                             "markers (duplicate shard completion); delete the "
-                            "file and re-run the shard")
+                            "file and re-run the shard",
+                            path=path,
+                            hint="delete the file and re-run the shard")
                     marked_shard = record.get("shard")
                     if marked_shard is not None and int(marked_shard) != shard_index:
                         raise CheckpointError(
                             f"shard file {path} carries a completion marker for "
                             f"shard {marked_shard}; files were moved between "
                             "checkpoints — restore the original layout or start "
-                            "a fresh checkpoint")
+                            "a fresh checkpoint",
+                            path=path,
+                            hint="restore the original layout or start a "
+                                 "fresh checkpoint")
                     complete_count = int(record["count"])
                 else:
                     raise CheckpointError(
                         f"shard file {path} line {line_number} has unknown record "
                         f"kind {kind!r}; the checkpoint was written by an "
-                        "incompatible version — start a fresh checkpoint")
+                        "incompatible version — start a fresh checkpoint",
+                        path=path,
+                        hint="start a fresh checkpoint")
             except (KeyError, TypeError, ValueError) as error:
                 raise CheckpointError(
                     f"shard file {path} line {line_number} is structurally "
                     f"invalid ({error!r}: missing or malformed field); the "
                     "file is corrupt — delete it and set the shard back to "
-                    "\"pending\" in the manifest so resume re-runs it") from error
+                    "\"pending\" in the manifest so resume re-runs it",
+                    path=path,
+                    hint="delete the file and set the shard back to "
+                         "\"pending\" in the manifest so resume re-runs "
+                         "it") from error
         if complete_count is None:
             raise CheckpointError(
                 f"shard file {path} has no shard-complete marker: the shard "
                 "never finished. Set it back to \"pending\" in the manifest "
-                "so resume re-runs it")
+                "so resume re-runs it",
+                path=path,
+                hint="set the shard back to \"pending\" in the manifest so "
+                     "resume re-runs it")
         if complete_count != len(outcomes):
             raise CheckpointError(
                 f"shard file {path} records {len(outcomes)} outcomes but its "
                 f"completion marker expects {complete_count}; the file lost "
-                "lines — delete it and re-run the shard")
+                "lines — delete it and re-run the shard",
+                path=path,
+                hint="delete the file and re-run the shard")
         return outcomes
 
     def merge_report(self, expected_size: int | None = None) -> CensusReport:
@@ -549,7 +667,9 @@ class CensusCheckpoint:
             raise CheckpointError(
                 f"cannot merge {self.directory}: shards {pending} are still "
                 "pending — resume the census first "
-                "(python -m repro.census resume)")
+                "(python -m repro.census resume)",
+                path=self.directory / MANIFEST_NAME,
+                hint="resume the census first (python -m repro.census resume)")
         merged: dict[int, ServerOutcome] = {}
         for shard_index in range(self.num_shards):
             for index, outcome in self.load_shard(shard_index):
@@ -557,7 +677,9 @@ class CensusCheckpoint:
                     raise CheckpointError(
                         f"population index {index} appears in more than one "
                         f"shard of {self.directory}; the shard files are "
-                        "inconsistent — start a fresh checkpoint")
+                        "inconsistent — start a fresh checkpoint",
+                        path=self.shard_path(shard_index),
+                        hint="start a fresh checkpoint")
                 merged[index] = outcome
         if expected_size is None:
             expected_size = self.manifest.get("population_size")
@@ -565,7 +687,9 @@ class CensusCheckpoint:
             raise CheckpointError(
                 f"checkpoint {self.directory} merges {len(merged)} outcomes "
                 f"but the population has {expected_size} servers; shard files "
-                "are incomplete — re-run the missing shards")
+                "are incomplete — re-run the missing shards",
+                path=self.directory / MANIFEST_NAME,
+                hint="re-run the missing shards")
         report = CensusReport()
         for index in sorted(merged):
             report.add(merged[index])

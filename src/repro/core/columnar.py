@@ -49,13 +49,13 @@ from __future__ import annotations
 
 import copy
 import math
-import os
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.environments import DEFAULT_ENVIRONMENTS, W_TIMEOUT_LADDER, NetworkEnvironment
+from repro.envknobs import env_flag, env_int
 from repro.core.gather import GatherConfig, ProbeableServer, SyntheticServer, TraceGatherer
 from repro.core.trace import InvalidReason, ProbeTrace, WindowTrace
 from repro.net.conditions import NetworkCondition
@@ -92,18 +92,24 @@ DEFAULT_COHORT_SIZE = 1024
 
 
 def columnar_enabled() -> bool:
-    """Whether the columnar tier is active (default: yes)."""
-    return os.environ.get(COLUMNAR_ENV, "1") != "0"
+    """Whether the columnar tier is active (default: yes).
+
+    Returns:
+        The validated value of ``REPRO_COLUMNAR`` (default ``True``).
+    """
+    return env_flag(COLUMNAR_ENV, default=True)
 
 
 def columnar_cohort_size() -> int:
-    """Cohort size for census / training chunking (``REPRO_COLUMNAR_COHORT``)."""
-    raw = os.environ.get(COLUMNAR_COHORT_ENV, "")
-    try:
-        value = int(raw)
-    except ValueError:
-        return DEFAULT_COHORT_SIZE
-    return max(1, value) if raw else DEFAULT_COHORT_SIZE
+    """Cohort size for census / training chunking (``REPRO_COLUMNAR_COHORT``).
+
+    Returns:
+        The validated cohort size (at least 1; default
+        :data:`DEFAULT_COHORT_SIZE`). Unparsable or sub-1 values raise
+        :class:`repro.envknobs.EnvKnobError` instead of silently falling
+        back.
+    """
+    return env_int(COLUMNAR_COHORT_ENV, DEFAULT_COHORT_SIZE, minimum=1)
 
 
 # --------------------------------------------------------------------- lanes

@@ -122,6 +122,11 @@ class GatherConfig:
     #: Seconds CAAI waits between environments A and B for servers that cache
     #: the slow start threshold (Section IV-C recommends about 10 minutes).
     wait_between_environments: float = 600.0
+    #: Per-environment deadline budget in simulated seconds, measured from
+    #: the trace's own start time (``None`` = unbounded, the historic
+    #: behaviour). A trace that exceeds it is marked
+    #: :attr:`~repro.core.trace.InvalidReason.PROBE_TIMEOUT`.
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.w_timeout <= 0:
@@ -130,6 +135,8 @@ class GatherConfig:
             raise ValueError("MSS must be positive")
         if self.rounds_after_timeout <= 0:
             raise ValueError("rounds_after_timeout must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
 
     def required_bytes(self) -> int:
         """Upper bound on the data a full probe can consume (Section IV-E).
@@ -246,6 +253,9 @@ class TraceGatherer:
             highest_prev = highest_end
             trace.pre_timeout.append(window)
             now += environment.rtt_before_timeout(round_index)
+            if self._past_deadline(now, start_time):
+                trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+                return trace
             if window > config.w_timeout:
                 timed_out = True
                 break
@@ -265,6 +275,9 @@ class TraceGatherer:
             trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
             return trace
         now = max(now, deadline)
+        if self._past_deadline(now, start_time):
+            trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+            return trace
         segments = sender.on_timer(now)
         if not segments:
             trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
@@ -297,10 +310,18 @@ class TraceGatherer:
                 window = 0.0
             trace.post_timeout.append(window)
             now += environment.rtt_after_timeout(post_index)
+            if self._past_deadline(now, start_time):
+                trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+                return trace
             segments, lost_acks = self._acknowledge(sender, received, condition,
                                                     rng, now, highest_end)
             trace.ack_loss_events += lost_acks
         return trace
+
+    def _past_deadline(self, now: float, start_time: float) -> bool:
+        """Whether the per-environment deadline budget is exhausted."""
+        deadline = self.config.deadline
+        return deadline is not None and now - start_time > deadline
 
     def _deliver_data(self, segments: list[Segment], condition: NetworkCondition,
                       rng: np.random.Generator) -> list[Segment]:
@@ -396,6 +417,9 @@ class TraceGatherer:
             highest_prev = highest_end
             trace.pre_timeout.append(window)
             now += environment.rtt_before_timeout(round_index)
+            if self._past_deadline(now, start_time):
+                trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+                return trace
             if window > config.w_timeout:
                 timed_out = True
                 break
@@ -415,6 +439,9 @@ class TraceGatherer:
             trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
             return trace
         now = max(now, deadline)
+        if self._past_deadline(now, start_time):
+            trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+            return trace
         blocks = sender.on_timer_native(now)
         if not blocks:
             trace.invalid_reason = InvalidReason.NO_TIMEOUT_RESPONSE
@@ -452,6 +479,9 @@ class TraceGatherer:
                 window = 0.0
             trace.post_timeout.append(window)
             now += environment.rtt_after_timeout(post_index)
+            if self._past_deadline(now, start_time):
+                trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
+                return trace
             blocks, lost_acks = self._acknowledge_blocks(sender, received, condition,
                                                          rng, now, highest_pkt)
             trace.ack_loss_events += lost_acks
@@ -593,19 +623,35 @@ def probe_with_w_timeout_ladder(server: ProbeableServer, condition: NetworkCondi
                                 rng: np.random.Generator, mss: int,
                                 ladder: tuple[int, ...] = W_TIMEOUT_LADDER,
                                 server_id: str | None = None,
-                                wait_between_environments: float = 600.0) -> ProbeTrace:
+                                wait_between_environments: float = 600.0,
+                                deadline: float | None = None) -> ProbeTrace:
     """Probe a server, lowering ``w_timeout`` until a valid trace is obtained.
 
     CAAI tries ``w_timeout`` of 512, 256, 128 and finally 64 packets
     (Section IV-B); the first value that yields valid traces in both
     environments wins. The last attempt is returned even if invalid so that
     the census can categorise the failure.
+
+    Args:
+        server: The server to probe.
+        condition: The emulated path (RTT, jitter, loss).
+        rng: Random stream for the per-packet loss draws.
+        mss: Negotiated maximum segment size.
+        ladder: ``w_timeout`` values to try, in order.
+        server_id: Optional id recorded on the resulting traces.
+        wait_between_environments: Seconds between the A and B probes.
+        deadline: Per-environment budget in simulated seconds (``None`` =
+            unbounded); see :attr:`GatherConfig.deadline`.
+
+    Returns:
+        The first usable :class:`ProbeTrace`, or the last (invalid) one.
     """
     last_probe: ProbeTrace | None = None
     for w_timeout in ladder:
         gatherer = TraceGatherer(GatherConfig(
             w_timeout=w_timeout, mss=mss,
-            wait_between_environments=wait_between_environments))
+            wait_between_environments=wait_between_environments,
+            deadline=deadline))
         probe = gatherer.gather_probe(server, condition, rng, server_id=server_id)
         last_probe = probe
         if probe.usable_for_features:

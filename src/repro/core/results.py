@@ -14,6 +14,22 @@ from repro.core.labels import presentation_label
 from repro.core.special_cases import SpecialCase, special_case_label
 from repro.core.trace import InvalidReason
 
+#: Per-server outcome taxonomy (docs/ROBUSTNESS.md): what the census can say
+#: about a server once its probe budget is spent.
+STATUS_IDENTIFIED = "identified"
+STATUS_INCONCLUSIVE = "inconclusive"
+STATUS_UNREACHABLE = "unreachable"
+STATUS_INVALID_TRACE = "invalid_trace"
+
+#: Invalid reasons meaning the server could not be measured at all (as
+#: opposed to measured-but-unusable traces).
+_UNREACHABLE_REASONS = frozenset({
+    InvalidReason.CONNECTION_FAILED,
+    InvalidReason.PROBE_TIMEOUT,
+    InvalidReason.CONNECTION_RESET,
+    InvalidReason.WORKER_FAILED,
+})
+
 
 @dataclass
 class ServerOutcome:
@@ -30,11 +46,35 @@ class ServerOutcome:
     true_algorithm: str | None = None    # ground truth (available only in simulation)
     software: str | None = None
     region: str | None = None
+    #: Probe attempts spent on this server (1 = first try succeeded).
+    attempts: int = 1
+    #: Total backoff the retry loop slept for, in simulated seconds.
+    backoff_total: float = 0.0
+    #: Injected-fault events observed while probing, as ``(kind, attempt)``.
+    fault_events: tuple = ()
 
     @property
     def is_special_case(self) -> bool:
         """Whether the outcome landed in one of the special-trace categories."""
         return self.special_case is not None
+
+    @property
+    def status(self) -> str:
+        """The outcome-taxonomy bucket this server landed in.
+
+        Returns:
+            ``identified`` (valid, confidently classified),
+            ``inconclusive`` (valid but unsure), ``unreachable`` (never
+            measured: connection/deadline/worker failures), or
+            ``invalid_trace`` (measured, trace unusable).
+        """
+        if self.valid:
+            if self.category == "unsure":
+                return STATUS_INCONCLUSIVE
+            return STATUS_IDENTIFIED
+        if self.invalid_reason in _UNREACHABLE_REASONS:
+            return STATUS_UNREACHABLE
+        return STATUS_INVALID_TRACE
 
     # -------------------------------------------------------- serialization
     def to_json_dict(self) -> dict:
@@ -45,10 +85,16 @@ class ServerOutcome:
         the in-memory original — the property the resume parity guarantee
         rests on.
 
+        Resilience accounting (``attempts``, ``backoff_total``,
+        ``fault_events``, ``status``) is serialised only when it deviates
+        from the no-fault defaults, so a census run without a fault plan
+        writes byte-identical checkpoints to versions that predate the
+        fault-injection layer.
+
         Returns:
             A dict of JSON-native values; enum fields are stored by value.
         """
-        return {
+        data = {
             "server_id": self.server_id,
             "valid": self.valid,
             "w_timeout": self.w_timeout,
@@ -63,6 +109,12 @@ class ServerOutcome:
             "software": self.software,
             "region": self.region,
         }
+        if self.attempts != 1 or self.backoff_total or self.fault_events:
+            data["attempts"] = self.attempts
+            data["backoff_total"] = self.backoff_total
+            data["fault_events"] = [list(event) for event in self.fault_events]
+            data["status"] = self.status
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "ServerOutcome":
@@ -90,6 +142,10 @@ class ServerOutcome:
             true_algorithm=data.get("true_algorithm"),
             software=data.get("software"),
             region=data.get("region"),
+            attempts=data.get("attempts", 1),
+            backoff_total=data.get("backoff_total", 0.0),
+            fault_events=tuple(tuple(event)
+                               for event in data.get("fault_events", ())),
         )
 
 
@@ -164,6 +220,53 @@ class CensusReport:
             counts[category] = counts.get(category, 0) + 1
         return {category: 100.0 * count / len(valid)
                 for category, count in sorted(counts.items())}
+
+    # ------------------------------------------------ resilience accounting
+    def status_counts(self) -> dict[str, int]:
+        """Servers per outcome-taxonomy bucket (docs/ROBUSTNESS.md).
+
+        Returns:
+            Counts keyed by ``identified`` / ``inconclusive`` /
+            ``unreachable`` / ``invalid_trace``, sorted by key.
+        """
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def retry_total(self) -> int:
+        """Total extra probe attempts the census spent on retries.
+
+        Returns:
+            The sum of ``attempts - 1`` over all outcomes (0 when nothing
+            was retried).
+        """
+        return sum(outcome.attempts - 1 for outcome in self.outcomes)
+
+    def has_fault_accounting(self) -> bool:
+        """Whether any outcome carries retry or fault-event accounting.
+
+        Returns:
+            ``True`` if at least one server was retried or observed an
+            injected fault; reports from fault-free runs return ``False``
+            (and serialise exactly as before the fault layer existed).
+        """
+        return any(outcome.attempts != 1 or outcome.fault_events
+                   for outcome in self.outcomes)
+
+    def resilience_summary(self) -> dict:
+        """One-look summary of how flaky the census run was.
+
+        Returns:
+            A dict with ``status_counts``, ``retry_total`` and
+            ``fault_events`` (total injected-fault observations).
+        """
+        return {
+            "status_counts": self.status_counts(),
+            "retry_total": self.retry_total(),
+            "fault_events": sum(len(outcome.fault_events)
+                                for outcome in self.outcomes),
+        }
 
     def invalid_reason_shares(self) -> dict[str, float]:
         invalid = self.invalid_outcomes

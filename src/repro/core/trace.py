@@ -29,6 +29,14 @@ class InvalidReason(enum.Enum):
     MSS_REJECTED = "mss_rejected"
     #: The connection could not be established at all.
     CONNECTION_FAILED = "connection_failed"
+    #: The probe exceeded its deadline budget (or the server went silent
+    #: mid-trace) and every retry was exhausted.
+    PROBE_TIMEOUT = "probe_timeout"
+    #: The connection was reset mid-probe and every retry was exhausted.
+    CONNECTION_RESET = "connection_reset"
+    #: The worker executing the probe task died and recovery re-runs also
+    #: failed; the server was never fully measured.
+    WORKER_FAILED = "worker_failed"
 
 
 @dataclass

@@ -25,10 +25,12 @@ class LinkStats:
     dropped: int = 0
     duplicated: int = 0
     reordered: int = 0
+    #: Packets swallowed by an injected outage window (fault injection).
+    outage_dropped: int = 0
 
     @property
     def offered(self) -> int:
-        return self.delivered + self.dropped
+        return self.delivered + self.dropped + self.outage_dropped
 
     def loss_rate(self) -> float:
         if self.offered == 0:
@@ -46,6 +48,12 @@ class NetemLink:
     scheduled delivery time); with probability ``reorder_probability`` a
     packet is allowed to jump ahead, and with probability
     ``duplicate_probability`` it is delivered twice.
+
+    ``outages`` are transient total-loss windows used by the fault-injection
+    layer (docs/ROBUSTNESS.md): a packet sent while ``simulator.now`` falls
+    inside an ``(start, end)`` window is dropped outright, consuming no rng
+    draws — an empty tuple (the default) leaves the link's behaviour and rng
+    stream untouched.
     """
 
     simulator: EventSimulator
@@ -55,6 +63,7 @@ class NetemLink:
     reorder_probability: float = 0.0
     duplicate_probability: float = 0.0
     min_delay: float = 1e-4
+    outages: tuple = ()
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     stats: LinkStats = field(default_factory=LinkStats)
     _last_delivery: float = field(default=0.0, init=False)
@@ -67,8 +76,23 @@ class NetemLink:
         if self.delay < 0 or self.jitter < 0:
             raise ValueError("delay and jitter must be non-negative")
 
+    def in_outage(self, now: float) -> bool:
+        """Whether an injected outage window covers time ``now``.
+
+        Args:
+            now: Simulated time in seconds.
+
+        Returns:
+            ``True`` if some ``(start, end)`` window contains ``now``
+            (start-inclusive, end-exclusive).
+        """
+        return any(start <= now < end for start, end in self.outages)
+
     def send(self, payload, deliver: Callable[[object], None]) -> None:
         """Send ``payload`` across the link, invoking ``deliver`` on arrival."""
+        if self.outages and self.in_outage(self.simulator.now):
+            self.stats.outage_dropped += 1
+            return
         if self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
             return

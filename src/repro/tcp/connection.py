@@ -17,10 +17,10 @@ segments it wants to transmit.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.envknobs import env_flag
 from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState, MIN_CWND
 from repro.tcp.packet import Segment, SegmentBlock, expand_blocks
 from repro.tcp.rto import RtoEstimator
@@ -45,15 +45,21 @@ _MIN_BATCH_RUN = 4
 
 
 def ack_batch_enabled() -> bool:
-    """Whether the batched ACK fast path is enabled (read per sender)."""
-    return os.environ.get(ACK_BATCH_ENV, "1").strip().lower() not in (
-        "0", "false", "off", "no")
+    """Whether the batched ACK fast path is enabled (read per sender).
+
+    Returns:
+        The validated value of ``REPRO_ACK_BATCH`` (default ``True``).
+    """
+    return env_flag(ACK_BATCH_ENV, default=True)
 
 
 def segment_blocks_enabled() -> bool:
-    """Whether senders natively emit segment blocks (read per sender)."""
-    return os.environ.get(SEGMENT_BLOCKS_ENV, "1").strip().lower() not in (
-        "0", "false", "off", "no")
+    """Whether senders natively emit segment blocks (read per sender).
+
+    Returns:
+        The validated value of ``REPRO_SEGMENT_BLOCKS`` (default ``True``).
+    """
+    return env_flag(SEGMENT_BLOCKS_ENV, default=True)
 
 
 def _defining_class(alg_type: type, attribute: str) -> type | None:

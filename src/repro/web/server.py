@@ -134,6 +134,18 @@ class WebServer:
         self.connections_opened += 1
         return sender
 
+    def restart(self) -> None:
+        """Drop all in-memory TCP state, as a server reboot would.
+
+        Used by the fault-injection layer's ``server_restart`` fault: the
+        cached slow start threshold, its timestamp and the live sender are
+        all lost, so the next probe connection starts from a cold stack
+        (``connections_opened`` survives — it counts lifetime connections).
+        """
+        self._cached_ssthresh = None
+        self._cache_time = None
+        self._last_sender = None
+
     # ------------------------------------------------------------- internals
     def _initial_ssthresh(self, now: float) -> float:
         if not self.profile.ssthresh_caching or self._cached_ssthresh is None:

@@ -18,6 +18,7 @@ from repro.core.census import CensusConfig, CensusRunner
 from repro.core.checkpoint import (
     CensusCheckpoint,
     CheckpointError,
+    TornWriteError,
     census_fingerprint,
     classifier_fingerprint,
     shard_assignments,
@@ -175,6 +176,92 @@ class TestCheckpointLifecycle:
         other_seed = census_fingerprint(CensusConfig(seed=2),
                                         make_population(), fingerprint)
         assert other_seed != serial
+
+
+class TestErrorContext:
+    """CheckpointError carries structured path + hint, not just a message."""
+
+    def test_defaults_are_none(self):
+        error = CheckpointError("something broke")
+        assert error.path is None
+        assert error.hint is None
+
+    def test_path_is_coerced_and_hint_kept(self, tmp_path):
+        error = CheckpointError("bad shard", path=str(tmp_path / "s.jsonl"),
+                                hint="delete the file")
+        assert error.path == tmp_path / "s.jsonl"
+        assert error.hint == "delete the file"
+
+    def test_torn_write_error_is_a_checkpoint_error(self):
+        assert issubclass(TornWriteError, CheckpointError)
+
+    def test_open_missing_manifest_carries_context(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            CensusCheckpoint.open(tmp_path / "nowhere")
+        assert excinfo.value.path is not None
+        assert excinfo.value.path.name == "manifest.json"
+        assert "sharded census" in excinfo.value.hint
+
+    def test_duplicate_completion_carries_context(self, completed_checkpoint,
+                                                  tmp_path):
+        directory = _copy_checkpoint(completed_checkpoint, tmp_path)
+        checkpoint = CensusCheckpoint.open(directory)
+        with pytest.raises(CheckpointError) as excinfo:
+            checkpoint.write_shard(1, [])
+        assert excinfo.value.path.name == "shard-0001.jsonl"
+        assert excinfo.value.hint
+
+
+class TestTornWrites:
+    def _fresh_checkpoint(self, tmp_path, num_shards=2):
+        return CensusCheckpoint.create(
+            tmp_path / "ckpt", seed=1, num_shards=num_shards,
+            fingerprint="fp", population_size=4)
+
+    def _outcomes(self, count):
+        return [(i, ServerOutcome(server_id=f"server-{i:06d}", valid=False,
+                                  invalid_reason=InvalidReason.CONNECTION_FAILED))
+                for i in range(count)]
+
+    def test_torn_write_leaves_shard_pending_and_file_truncated(self, tmp_path):
+        checkpoint = self._fresh_checkpoint(tmp_path)
+        with pytest.raises(TornWriteError) as excinfo:
+            checkpoint.write_shard(0, self._outcomes(4), torn_after=2)
+        assert excinfo.value.path == checkpoint.shard_path(0)
+        assert "resume" in excinfo.value.hint
+        # The manifest never flipped: the shard is still pending.
+        assert 0 in checkpoint.pending_shards()
+        # The file holds 2 whole records plus a torn half-line, no marker.
+        text = checkpoint.shard_path(0).read_text()
+        assert not text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == 3
+        for line in lines[:2]:
+            assert json.loads(line)["kind"] == "outcome"
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[2])
+
+    def test_rewrite_after_tear_is_self_healing(self, tmp_path):
+        checkpoint = self._fresh_checkpoint(tmp_path)
+        outcomes = self._outcomes(3)
+        with pytest.raises(TornWriteError):
+            checkpoint.write_shard(0, outcomes, torn_after=1)
+        # Truncating rewrite: the healthy write fully replaces the torn file.
+        checkpoint.write_shard(0, outcomes)
+        assert checkpoint.shard_status(0) == "complete"
+        lines = checkpoint.shard_path(0).read_text().splitlines()
+        assert json.loads(lines[-1]) == {"kind": "shard-complete", "shard": 0,
+                                         "count": 3}
+        assert len(lines) == 4
+
+    def test_torn_at_zero_writes_no_full_record(self, tmp_path):
+        checkpoint = self._fresh_checkpoint(tmp_path)
+        with pytest.raises(TornWriteError):
+            checkpoint.write_shard(1, self._outcomes(2), torn_after=0)
+        text = checkpoint.shard_path(1).read_text()
+        assert text  # the torn half-line is there...
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(text)  # ...and is not parseable
 
 
 def _copy_checkpoint(source, tmp_path):

@@ -23,6 +23,7 @@ from repro.core.columnar import (
     sender_admissible,
 )
 from repro.core.gather import GatherConfig, SyntheticServer, TraceGatherer
+from repro.envknobs import EnvKnobError
 from repro.net.conditions import NetworkCondition
 from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
 from repro.tcp.connection import SenderConfig, TcpSender
@@ -278,9 +279,15 @@ class TestCohortKnobs:
         assert columnar_cohort_size() == DEFAULT_COHORT_SIZE
 
     @pytest.mark.parametrize("raw,expected", [
-        ("17", 17), ("1", 1), ("0", 1), ("-5", 1),
-        ("garbage", DEFAULT_COHORT_SIZE), ("", DEFAULT_COHORT_SIZE),
+        ("17", 17), ("1", 1), ("", DEFAULT_COHORT_SIZE),
     ])
     def test_cohort_size_parsing(self, monkeypatch, raw, expected):
         monkeypatch.setenv(COLUMNAR_COHORT_ENV, raw)
         assert columnar_cohort_size() == expected
+
+    @pytest.mark.parametrize("raw", ["0", "-5", "garbage", "1.5"])
+    def test_cohort_size_rejects_bad_values(self, monkeypatch, raw):
+        """Misconfigured knobs fail loudly instead of silently coercing."""
+        monkeypatch.setenv(COLUMNAR_COHORT_ENV, raw)
+        with pytest.raises(EnvKnobError):
+            columnar_cohort_size()

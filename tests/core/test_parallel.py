@@ -13,7 +13,7 @@ import pytest
 from repro.core.census import CensusConfig, CensusRunner
 from repro.core.training import TrainingSetBuilder
 from repro.net.conditions import default_condition_database
-from repro.parallel import ParallelExecutor, task_seeds
+from repro.parallel import ParallelExecutor, TaskFailure, task_seeds
 from repro.web.population import PopulationConfig, ServerPopulation
 
 
@@ -24,6 +24,18 @@ def _square(value):
 def _seeded_draw(task):
     index, seed = task
     return index, float(np.random.default_rng(seed).random())
+
+
+def _boom_on_three(value):
+    if value == 3:
+        raise ValueError(f"boom at {value}")
+    return value * value
+
+
+def _sleep_forever(value):
+    import time
+    time.sleep(60)
+    return value
 
 
 class TestParallelExecutor:
@@ -62,6 +74,55 @@ class TestParallelExecutor:
         parallel = ParallelExecutor(backend="process", max_workers=2,
                                     chunk_size=3).map(_seeded_draw, tasks)
         assert serial == parallel
+
+
+class TestFailureCapture:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_raised_exception_becomes_task_failure(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=2,
+                                    capture_failures=True)
+        results = executor.map(_boom_on_three, [1, 2, 3, 4])
+        assert results[0] == 1 and results[1] == 4 and results[3] == 16
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 2
+        assert failure.error_type == "ValueError"
+        assert "boom at 3" in failure.message
+        assert "ValueError" in failure.traceback_text
+
+    def test_without_capture_exceptions_propagate(self):
+        executor = ParallelExecutor(backend="serial")
+        with pytest.raises(ValueError, match="boom"):
+            executor.map(_boom_on_three, [1, 2, 3])
+
+    def test_describe_callback_annotates_failures(self):
+        executor = ParallelExecutor(capture_failures=True)
+        results = executor.map(
+            _boom_on_three, [3],
+            describe=lambda index, task: f"task value {task}")
+        assert results[0].description == "task value 3"
+        assert str(results[0]) == ("task 0 (task value 3): "
+                                   "ValueError: boom at 3")
+
+    def test_task_timeout_requires_capture(self):
+        with pytest.raises(ValueError, match="capture_failures"):
+            ParallelExecutor(task_timeout=5.0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ParallelExecutor(capture_failures=True, task_timeout=0.0)
+
+    def test_task_timeout_yields_timeout_failure(self):
+        executor = ParallelExecutor(backend="process", max_workers=2,
+                                    capture_failures=True, task_timeout=0.5)
+        results = executor.map(_sleep_forever, [1])
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].error_type == "TimeoutError"
+        assert "task_timeout" in results[0].message
+
+    def test_capture_keeps_task_order(self):
+        executor = ParallelExecutor(backend="process", max_workers=2,
+                                    capture_failures=True)
+        results = executor.map(_square, list(range(20)))
+        assert results == [value * value for value in range(20)]
 
 
 @pytest.fixture(scope="module")

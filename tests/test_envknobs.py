@@ -1,0 +1,81 @@
+"""Tests for the centralised ``REPRO_*`` environment-knob parser."""
+
+import pytest
+
+from repro.envknobs import (EnvKnobError, FALSE_VALUES, TRUE_VALUES, env_flag,
+                            env_int)
+
+KNOB = "REPRO_TEST_KNOB"
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(KNOB, raising=False)
+        assert env_flag(KNOB, default=True) is True
+        assert env_flag(KNOB, default=False) is False
+
+    def test_empty_and_whitespace_return_default(self, monkeypatch):
+        for raw in ("", "   "):
+            monkeypatch.setenv(KNOB, raw)
+            assert env_flag(KNOB, default=True) is True
+
+    @pytest.mark.parametrize("raw", TRUE_VALUES + tuple(v.upper() for v in TRUE_VALUES))
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        assert env_flag(KNOB, default=False) is True
+
+    @pytest.mark.parametrize("raw", FALSE_VALUES + tuple(v.upper() for v in FALSE_VALUES))
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        assert env_flag(KNOB, default=True) is False
+
+    def test_surrounding_whitespace_is_trimmed(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "  off  ")
+        assert env_flag(KNOB, default=True) is False
+
+    @pytest.mark.parametrize("raw", ["fales", "2", "enabled", "y "])
+    def test_unrecognised_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        with pytest.raises(EnvKnobError, match=KNOB):
+            env_flag(KNOB)
+
+    def test_error_names_the_offending_value(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "maybe")
+        with pytest.raises(EnvKnobError, match="maybe"):
+            env_flag(KNOB)
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(KNOB, raising=False)
+        assert env_int(KNOB, 1024) == 1024
+
+    def test_parses_integers(self, monkeypatch):
+        monkeypatch.setenv(KNOB, " 256 ")
+        assert env_int(KNOB, 1024) == 256
+
+    @pytest.mark.parametrize("raw", ["garbage", "1.5", "1e3", ""])
+    def test_non_integers_raise_or_default(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        if not raw.strip():
+            assert env_int(KNOB, 7) == 7
+        else:
+            with pytest.raises(EnvKnobError, match=KNOB):
+                env_int(KNOB, 7)
+
+    @pytest.mark.parametrize("raw", ["0", "-5"])
+    def test_below_minimum_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(KNOB, raw)
+        with pytest.raises(EnvKnobError, match="minimum"):
+            env_int(KNOB, 7, minimum=1)
+
+    def test_minimum_is_inclusive(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "1")
+        assert env_int(KNOB, 7, minimum=1) == 1
+
+    def test_negative_allowed_without_minimum(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "-3")
+        assert env_int(KNOB, 7) == -3
+
+    def test_env_knob_error_is_a_value_error(self):
+        assert issubclass(EnvKnobError, ValueError)
