@@ -88,6 +88,8 @@ TARGET_COLUMNAR_SPEEDUP = 4.0
 COHORT_WORKLOAD_LANES = 2048
 COHORT_SWEEP_LANES = 4096
 COHORT_SWEEP_SIZES = (1, 64, 512, 4096)
+#: Lanes per scenario pack in the adversarial-pack sweep.
+SCENARIO_SWEEP_LANES = 128
 
 
 def _make_server(algorithm: str):
@@ -273,6 +275,54 @@ def phase_breakdown(blocks: bool) -> dict:
     }
 
 
+# ------------------------------------------------------- scenario-pack sweep
+def scenario_pack_sweep() -> dict:
+    """Probe throughput per adversarial scenario pack (docs/SCENARIOS.md).
+
+    Each pack probes ``SCENARIO_SWEEP_LANES`` servers through one columnar
+    engine, with conditions drawn from the pack's own preset and servers
+    wrapped by the pack. Wrapped servers are deliberately inadmissible to the
+    columnar kernel, so the wrapping packs report ``scalar_probe_share`` 1.0
+    and their throughput prices the full scalar path; the honest baselines
+    show how much of the remaining columnar time the lossy conditions push
+    onto the real-round fallback (``real_round_share``). Recorded without a
+    tripwire, like the census/training columnar ratios.
+    """
+    from repro.net.conditions import condition_database_preset
+    from repro.scenarios import SCENARIO_PACKS
+
+    sweep: dict = {}
+    for name, pack in SCENARIO_PACKS.items():
+        conditions = condition_database_preset(
+            pack.condition_preset, size=300, seed=2010)
+        config = GatherConfig(w_timeout=64, mss=100)
+        engine = ColumnarProbeEngine()
+
+        def run_pack():
+            jobs = []
+            for index in range(SCENARIO_SWEEP_LANES):
+                rng = np.random.default_rng(5000 + index)
+                algorithm = IDENTIFIABLE_ALGORITHMS[
+                    index % len(IDENTIFIABLE_ALGORITHMS)]
+                server = pack.wrap_server(_make_server(algorithm),
+                                          f"bench-{index:04d}")
+                jobs.append(ProbeJob(server, conditions.sample(rng), rng,
+                                     config))
+            return engine.gather_probes(jobs)
+
+        seconds, probes_out = timed(run_pack)
+        stats = columnar_phase_stats(engine)
+        sweep[name] = {
+            "probes_per_second": round(len(probes_out) / seconds, 2),
+            "real_round_share": stats["real_round_share"],
+            "scalar_probe_share": round(
+                engine.stats.scalar_probes / SCENARIO_SWEEP_LANES, 4),
+            "kernel_seconds": stats["kernel_seconds"],
+            "scalar_replay_seconds": stats["scalar_replay_seconds"],
+        }
+    return sweep
+
+
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_probe.json"
     results: dict = {"scale": "small", "census_size": CENSUS_SIZE}
@@ -436,6 +486,11 @@ def main() -> None:
         raise SystemExit("FAIL: census outcomes diverge across the columnar knob")
     results["census_columnar_speedup"] = round(
         census_off_seconds / census_seconds, 2)
+
+    # ---- adversarial scenario packs (docs/SCENARIOS.md) -------------------
+    print(f"sweeping scenario packs ({SCENARIO_SWEEP_LANES} lanes each) ...",
+          flush=True)
+    results["scenario_packs"] = scenario_pack_sweep()
 
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

@@ -33,6 +33,7 @@ from repro.core.training import TrainingSetBuilder
 from repro.faults import FaultPlan
 from repro.net.conditions import CONDITION_DB_PRESETS, condition_database_preset
 from repro.parallel import BACKENDS
+from repro.scenarios import SCENARIO_PACKS, scenario_pack_by_name
 from repro.web.population import PopulationConfig, ServerPopulation
 
 PROG = "python -m repro.census"
@@ -88,6 +89,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         settings["probe_deadline"] = args.probe_deadline
     if args.max_probe_attempts != 3:
         settings["max_probe_attempts"] = args.max_probe_attempts
+    if args.scenario_pack is not None:
+        pack = scenario_pack_by_name(args.scenario_pack)
+        settings["scenario_pack"] = pack.name
+        # The pack dictates the condition preset, so the stored settings
+        # are self-describing and resume rebuilds the same paths.
+        settings["conditions"] = pack.condition_preset
     runner = _build_runner(settings, backend=args.backend, workers=args.workers)
     population = _build_population(settings)
     print(f"running census of {args.servers} servers over {args.shards} shards "
@@ -163,9 +170,17 @@ def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRu
     print(f"training classifier ({settings['trees']} trees, "
           f"{settings['training_conditions']} conditions/pair, "
           f"'{settings['conditions']}' paths) ...", flush=True)
+    server_wrapper = None
+    scenario_pack = settings.get("scenario_pack")
+    if scenario_pack is not None:
+        pack = scenario_pack_by_name(scenario_pack)
+        if pack.wraps_servers():
+            # Retrain under the same adversity the census probes under.
+            server_wrapper = pack.wrap_server
     builder = TrainingSetBuilder(
         conditions_per_pair=settings["training_conditions"],
-        seed=settings["training_seed"], condition_database=conditions)
+        seed=settings["training_seed"], condition_database=conditions,
+        server_wrapper=server_wrapper)
     classifier = CaaiClassifier(n_trees=settings["trees"],
                                 seed=settings["forest_seed"])
     classifier.train(builder.build_dataset())
@@ -176,7 +191,8 @@ def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRu
                           max_workers=workers,
                           fault_plan=fault_plan,
                           probe_deadline=settings.get("probe_deadline"),
-                          max_probe_attempts=settings.get("max_probe_attempts", 3))
+                          max_probe_attempts=settings.get("max_probe_attempts", 3),
+                          scenario_pack=scenario_pack)
     return CensusRunner(classifier, config)
 
 
@@ -316,6 +332,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-probe-attempts", type=int, default=3,
                      help="probe attempts per server before a transient "
                           "fault is recorded as a failure (default: 3)")
+    run.add_argument("--scenario-pack", default=None,
+                     choices=sorted(SCENARIO_PACKS),
+                     help="adversarial scenario pack to probe (and train) "
+                          "under (see docs/SCENARIOS.md); overrides "
+                          "--conditions with the pack's preset and is "
+                          "stored in the manifest for resume")
     _add_execution_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

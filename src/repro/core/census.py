@@ -87,8 +87,17 @@ class CensusConfig:
     #: Wall-clock seconds one probe task may run on the ``process`` backend
     #: (``None`` = unbounded). Execution-only: cannot change report content.
     task_timeout: float | None = None
+    #: Adversarial scenario pack to probe under, by name (``None`` = no
+    #: pack, the exact historic behaviour; see docs/SCENARIOS.md).
+    scenario_pack: str | None = None
 
     def __post_init__(self) -> None:
+        if self.scenario_pack is not None:
+            # Resolve eagerly so an unknown pack fails at configuration
+            # time, not inside a worker process.
+            from repro.scenarios import scenario_pack_by_name
+
+            scenario_pack_by_name(self.scenario_pack)
         if self.max_probe_attempts < 1:
             raise ValueError("max_probe_attempts must be at least 1")
         if self.backoff_base < 0 or self.backoff_max < 0:
@@ -211,6 +220,31 @@ _PROBE_WORKER: dict = {}
 def _init_probe_worker(config: CensusConfig) -> None:
     _PROBE_WORKER["config"] = config
     _PROBE_WORKER["crawler"] = PageSearchTool(page_budget=config.crawler_page_budget)
+    pack = None
+    if config.scenario_pack is not None:
+        from repro.scenarios import scenario_pack_by_name
+
+        pack = scenario_pack_by_name(config.scenario_pack)
+        if not pack.wraps_servers():
+            pack = None  # baseline packs leave the probe path untouched
+    _PROBE_WORKER["pack"] = pack
+
+
+def _scenario_record(record: ServerRecord) -> ServerRecord:
+    """Wrap one record's server with the active scenario pack, if any.
+
+    Baseline packs (and no pack at all) return the record unchanged, so the
+    columnar fast path and the historic byte-for-byte behaviour survive.
+    Wrapped servers are rejected by the columnar admissibility check and run
+    the exact scalar probe path instead.
+    """
+    pack = _PROBE_WORKER.get("pack")
+    if pack is None:
+        return record
+    wrapped = pack.wrap_server(record.server, record.profile.server_id)
+    if wrapped is record.server:
+        return record
+    return dataclasses.replace(record, server=wrapped)
 
 
 def _attempt_seed(seed_sequence: np.random.SeedSequence,
@@ -356,6 +390,7 @@ def _probe_task(task: tuple[ServerRecord, np.random.SeedSequence]
     record, seed = task
     config = _PROBE_WORKER["config"]
     _check_worker_death([task], config)
+    record = _scenario_record(record)
     if config.resilience_active():
         return _resilient_probe(record, _PROBE_WORKER["crawler"], config, seed)
     return probe_server(record, _PROBE_WORKER["crawler"], config,
@@ -379,6 +414,8 @@ def _probe_chunk_task(tasks: list[tuple[ServerRecord, np.random.SeedSequence]]
     config = _PROBE_WORKER["config"]
     crawler = _PROBE_WORKER["crawler"]
     _check_worker_death(tasks, config)
+    if _PROBE_WORKER.get("pack") is not None:
+        tasks = [(_scenario_record(record), seed) for record, seed in tasks]
     plan = config.fault_plan
     resilient_slots: set[int] = set()
     if config.resilience_active():

@@ -196,7 +196,7 @@ def census_fingerprint(config: "CensusConfig", population: "ServerPopulation",
         census_fields["fault_plan"] = None
     neutral = {"fault_plan": None, "probe_deadline": None,
                "max_probe_attempts": 3, "backoff_base": 0.5,
-               "backoff_max": 30.0}
+               "backoff_max": 30.0, "scenario_pack": None}
     for name, default in neutral.items():
         if name in census_fields and census_fields[name] == default:
             census_fields.pop(name)

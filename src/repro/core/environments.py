@@ -108,11 +108,20 @@ ENVIRONMENT_BUFFERBLOAT = NetworkEnvironment(
     name="bufferbloat", pre_timeout_switch_round=2, post_timeout_switch_round=4,
     long_rtt=2.2, short_rtt=1.0)
 
+#: Cellular schedule (scenario packs): the RTT rides between the packaged
+#: cellular trace's good state (~0.1 s RTT grown to the emulation's working
+#: point) and its congested state, switching early in both phases the way a
+#: cell's load swings within a probe.
+ENVIRONMENT_CELLULAR = NetworkEnvironment(
+    name="cellular", pre_timeout_switch_round=4, post_timeout_switch_round=8,
+    long_rtt=1.6, short_rtt=0.9)
+
 #: Every named environment, the paper's A/B pair plus the scenario presets.
 ENVIRONMENT_PRESETS: dict[str, NetworkEnvironment] = {
     environment.name: environment
     for environment in (ENVIRONMENT_A, ENVIRONMENT_B, ENVIRONMENT_HIGH_BDP,
-                        ENVIRONMENT_LOSSY_WIRELESS, ENVIRONMENT_BUFFERBLOAT)
+                        ENVIRONMENT_LOSSY_WIRELESS, ENVIRONMENT_BUFFERBLOAT,
+                        ENVIRONMENT_CELLULAR)
 }
 
 
@@ -122,7 +131,7 @@ def environment_by_name(name: str) -> NetworkEnvironment:
     Args:
         name: ``"A"`` or ``"B"`` (the paper's environments) or one of the
             scenario presets (``"high-bdp"``, ``"lossy-wireless"``,
-            ``"bufferbloat"``).
+            ``"bufferbloat"``, ``"cellular"``).
 
     Returns:
         The matching :class:`NetworkEnvironment`.

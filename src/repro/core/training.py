@@ -67,6 +67,11 @@ class TrainingSetBuilder:
     #: training set insensitive to the server's initial window (design goal 2).
     initial_windows: tuple[int, ...] = (2, 3, 4, 10)
     extractor: FeatureExtractor = field(default_factory=FeatureExtractor)
+    #: Optional ``wrapper(server, pair_id)`` applied to every training server
+    #: (e.g. a scenario pack's ``wrap_server``, so the classifier trains
+    #: under the same adversity it is evaluated under). Must be picklable
+    #: for the process backend. ``None`` keeps the historic behaviour.
+    server_wrapper: "callable | None" = None
 
     def __post_init__(self) -> None:
         if self.conditions_per_pair < 1:
@@ -153,6 +158,11 @@ class TrainingSetBuilder:
             attempts += 1
             condition = self.condition_database.sample(rng)
             server = self._make_server(algorithm, rng)
+            if self.server_wrapper is not None:
+                # The attempt index diversifies per-server perturbation
+                # streams (e.g. evasion rngs) across a pair's conditions.
+                server = self.server_wrapper(
+                    server, f"{algorithm}/{w_timeout}/{attempts - 1}")
             probe = gatherer.gather_probe(server, condition, rng)
             if not probe.usable_for_features:
                 # The emulated condition was too hostile (e.g. an extreme loss
@@ -202,6 +212,9 @@ class _PairLane(ProbeLane):
         self.attempts += 1
         condition = builder.condition_database.sample(self.rng)
         server = builder._make_server(self.algorithm, self.rng)
+        if builder.server_wrapper is not None:
+            server = builder.server_wrapper(
+                server, f"{self.algorithm}/{self.w_timeout}/{self.attempts - 1}")
         return ProbeJob(server, condition, self.rng, self.config)
 
     def job_done(self, probe: ProbeTrace) -> None:

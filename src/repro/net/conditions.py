@@ -168,6 +168,14 @@ def _bufferbloat_database(size: int, seed: int) -> ConditionDatabase:
                              loss_rates=loss_rates)
 
 
+def _cellular_trace_database(size: int, seed: int) -> ConditionDatabase:
+    """Paths resampled from the packaged cellular link trace (scenario layer)."""
+    # Imported lazily: the scenario layer builds on this module.
+    from repro.scenarios.tracefile import cellular_condition_database
+
+    return cellular_condition_database(size=size, seed=seed)
+
+
 #: Named condition-database presets selectable from the census CLI
 #: (``--conditions``); ``"paper"`` is the Figs. 4/10/11 reproduction.
 CONDITION_DB_PRESETS: dict[str, Callable[[int, int], ConditionDatabase]] = {
@@ -175,6 +183,7 @@ CONDITION_DB_PRESETS: dict[str, Callable[[int, int], ConditionDatabase]] = {
     "high-bdp": _high_bdp_database,
     "lossy-wireless": _lossy_wireless_database,
     "bufferbloat": _bufferbloat_database,
+    "cellular-trace": _cellular_trace_database,
 }
 
 
@@ -184,7 +193,8 @@ def condition_database_preset(name: str, size: int = PAPER_DATABASE_SIZE,
 
     Args:
         name: One of :data:`CONDITION_DB_PRESETS` (``"paper"``,
-            ``"high-bdp"``, ``"lossy-wireless"``, ``"bufferbloat"``).
+            ``"high-bdp"``, ``"lossy-wireless"``, ``"bufferbloat"``,
+            ``"cellular-trace"``).
         size: Number of emulated paths to draw.
         seed: Seed of the parametric draws (deterministic per preset).
 

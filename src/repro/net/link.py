@@ -17,6 +17,49 @@ import numpy as np
 from repro.net.simulator import EventSimulator
 
 
+def validate_windows(windows, name: str = "outages") -> tuple:
+    """Validate ``(start, end)`` time windows and return them as a tuple.
+
+    Used for :class:`NetemLink` outages and the scenario layer's cross-traffic
+    burst schedules, which share the same shape: each window must be a pair of
+    numbers with ``start < end``, and the windows must be sorted by start time
+    and non-overlapping (a window may begin exactly where the previous one
+    ends, since windows are start-inclusive/end-exclusive).
+
+    Args:
+        windows: Iterable of ``(start, end)`` pairs.
+        name: Label used in error messages (e.g. ``"outages"``).
+
+    Returns:
+        The validated windows as a tuple of ``(float, float)`` pairs.
+
+    Raises:
+        ValueError: On a malformed pair, ``start >= end``, unsorted windows,
+            or overlapping windows.
+    """
+    validated = []
+    for index, window in enumerate(windows):
+        try:
+            start, end = window
+            start, end = float(start), float(end)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{name}[{index}] must be a (start, end) pair of numbers, "
+                f"got {window!r}") from None
+        if not start < end:
+            raise ValueError(
+                f"{name}[{index}] must satisfy start < end, "
+                f"got ({start}, {end})")
+        if validated and start < validated[-1][1]:
+            previous = validated[-1]
+            raise ValueError(
+                f"{name} must be sorted and non-overlapping: window {index} "
+                f"({start}, {end}) starts before window {index - 1} "
+                f"{previous} ends")
+        validated.append((start, end))
+    return tuple(validated)
+
+
 @dataclass
 class LinkStats:
     """Counters describing what a link did to the traffic it carried."""
@@ -27,12 +70,26 @@ class LinkStats:
     reordered: int = 0
     #: Packets swallowed by an injected outage window (fault injection).
     outage_dropped: int = 0
+    #: ACKs dropped by a scenario-layer token-bucket policer.
+    policer_dropped: int = 0
+    #: ACKs removed by a scenario-layer thinning middlebox.
+    thinned_acks: int = 0
+    #: ACKs lost to a scenario-layer cross-traffic burst.
+    cross_traffic_dropped: int = 0
 
     @property
     def offered(self) -> int:
-        return self.delivered + self.dropped + self.outage_dropped
+        return (self.delivered + self.dropped + self.outage_dropped
+                + self.policer_dropped + self.thinned_acks
+                + self.cross_traffic_dropped)
 
     def loss_rate(self) -> float:
+        """Random-loss rate over everything offered to the link.
+
+        Scenario-layer drops (policer, thinning, cross-traffic) count toward
+        ``offered`` but not toward the numerator: they are deterministic
+        degradations, not netem's random loss.
+        """
         if self.offered == 0:
             return 0.0
         return self.dropped / self.offered
@@ -75,6 +132,7 @@ class NetemLink:
                 raise ValueError(f"{name} must be a probability, got {value}")
         if self.delay < 0 or self.jitter < 0:
             raise ValueError("delay and jitter must be non-negative")
+        self.outages = validate_windows(self.outages, name="outages")
 
     def in_outage(self, now: float) -> bool:
         """Whether an injected outage window covers time ``now``.

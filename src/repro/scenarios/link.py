@@ -1,0 +1,64 @@
+"""A NetemLink whose parameters replay a time-varying trace.
+
+:class:`TraceDrivenLink` subclasses :class:`~repro.net.link.NetemLink` and
+refreshes delay, jitter and loss from a :class:`~repro.scenarios.tracefile
+.LinkTrace` at every send, so the discrete-event contract (scheduling, FIFO
+preservation, rng consumption per packet) is exactly the parent's — only the
+parameters move. Bandwidth is modelled as per-packet serialisation delay
+added to the propagation delay, the same first-order treatment the net-rl
+``Link(trace, ...)`` exemplar uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.link import NetemLink
+from repro.scenarios.tracefile import LinkTrace, TRACE_MODES
+
+#: Packet size used to convert trace bandwidth into serialisation delay.
+DEFAULT_PACKET_BYTES = 1500
+
+
+@dataclass
+class TraceDrivenLink(NetemLink):
+    """Unidirectional link replaying a time-varying trace.
+
+    The trace governs ``delay`` and ``loss_probability``: at each send the
+    entry covering ``simulator.now`` (with the configured horizon ``mode``)
+    is applied before the parent's per-packet machinery runs. Jitter,
+    reordering and duplication keep whatever static values the link was
+    built with, so a trace can be layered on top of the usual netem knobs.
+    """
+
+    trace: LinkTrace | None = None
+    #: Horizon semantics, ``"hold"`` or ``"wrap"`` (see ``LinkTrace.at``).
+    mode: str = "hold"
+    #: Packet size for the bandwidth term; ``0`` disables serialisation delay.
+    packet_bytes: int = DEFAULT_PACKET_BYTES
+    #: Times at which the trace was consulted (diagnostics for tests).
+    lookups: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trace is None:
+            raise ValueError("TraceDrivenLink requires a trace")
+        if self.mode not in TRACE_MODES:
+            valid = ", ".join(TRACE_MODES)
+            raise ValueError(f"unknown trace mode {self.mode!r}; "
+                             f"valid: {valid}")
+        if self.packet_bytes < 0:
+            raise ValueError("packet_bytes must be non-negative")
+
+    def send(self, payload, deliver: Callable[[object], None]) -> None:
+        """Send ``payload`` under the trace entry covering the current time."""
+        entry = self.trace.at(self.simulator.now, mode=self.mode)
+        self.lookups += 1
+        serialisation = 0.0
+        if self.packet_bytes > 0:
+            serialisation = (self.packet_bytes * 8.0
+                             / (entry.bandwidth_mbps * 1e6))
+        self.delay = entry.delay_ms / 1000.0 + serialisation
+        self.loss_probability = entry.loss
+        super().send(payload, deliver)

@@ -1,0 +1,326 @@
+"""Hostile middlebox models on the ACK path.
+
+Real paths put more than netem between CAAI and a server: NATs and
+accelerators thin or stretch ACK streams, policers rate-limit them, and
+cross-traffic bursts swallow them in clumps. These models intercept the
+probe's ACK ladder inside a protocol-transparent sender wrapper (the
+:class:`~repro.faults.wrappers.FaultySender` mold): everything not
+intercepted delegates to the real sender, and — crucially — every
+degradation here is **deterministic**, consuming zero draws from the probe's
+rng stream, so a middlebox with all knobs neutral leaves traces
+bit-identical.
+
+Per-source drop accounting lands in a :class:`~repro.net.link.LinkStats`
+(``thinned_acks``, ``policer_dropped``, ``cross_traffic_dropped``), so
+scenario reports can explain *why* accuracy fell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gather import _filter_ack_runs
+from repro.net.link import LinkStats, validate_windows
+
+
+@dataclass(frozen=True)
+class MiddleboxConfig:
+    """Knobs of the ACK-path middlebox chain (all neutral by default)."""
+
+    #: Pass only every ``k``-th ACK (plus the round's final ACK, so the
+    #: cumulative point still reaches the sender); ``1`` disables thinning.
+    thin_every: int = 1
+    #: Seconds each ACK is delayed (an ACK "stretcher"); ``0`` disables.
+    stretch_seconds: float = 0.0
+    #: Token-bucket policer burst capacity in ACKs; ``None`` disables.
+    policer_capacity: int | None = None
+    #: Policer refill rate in ACKs per simulated second.
+    policer_rate: float = 0.0
+    #: Cross-traffic burst period in seconds; ``None`` disables bursts.
+    cross_period: float | None = None
+    #: Burst length in seconds from each period start.
+    cross_duration: float = 0.0
+    #: During a burst, drop every ``m``-th ACK (0-based index multiples).
+    cross_drop_every: int = 2
+    #: Optional explicit burst windows, validated like link outages.
+    cross_windows: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.thin_every < 1:
+            raise ValueError("thin_every must be at least 1")
+        if self.stretch_seconds < 0:
+            raise ValueError("stretch_seconds must be non-negative")
+        if self.policer_capacity is not None:
+            if self.policer_capacity < 1:
+                raise ValueError("policer_capacity must be at least 1")
+            if self.policer_rate <= 0:
+                raise ValueError("policer_rate must be positive when the "
+                                 "policer is enabled")
+        if self.cross_period is not None:
+            if self.cross_period <= 0:
+                raise ValueError("cross_period must be positive")
+            if not 0 < self.cross_duration <= self.cross_period:
+                raise ValueError("cross_duration must lie in "
+                                 "(0, cross_period]")
+            if self.cross_drop_every < 1:
+                raise ValueError("cross_drop_every must be at least 1")
+        object.__setattr__(
+            self, "cross_windows",
+            validate_windows(self.cross_windows, name="cross_windows"))
+
+    def is_neutral(self) -> bool:
+        """Whether every knob is at its pass-through default.
+
+        Returns:
+            ``True`` when the chain cannot alter a single ACK.
+        """
+        return (self.thin_every == 1 and self.stretch_seconds == 0.0
+                and self.policer_capacity is None
+                and self.cross_period is None and not self.cross_windows)
+
+
+class TokenBucketPolicer:
+    """A token-bucket ACK policer (deterministic, simulated-time refill)."""
+
+    def __init__(self, capacity: int, rate: float):
+        """Create a full bucket.
+
+        Args:
+            capacity: Maximum tokens (one token admits one ACK).
+            rate: Refill rate in tokens per simulated second.
+        """
+        self.capacity = capacity
+        self.rate = rate
+        self.tokens = float(capacity)
+        self.last_time: float | None = None
+
+    def admit(self, count: int, now: float) -> int:
+        """How many of ``count`` ACKs arriving at ``now`` pass the policer.
+
+        The bucket refills over the simulated time elapsed since the last
+        call; ACKs beyond the available tokens are dropped from the tail
+        (the burst's front gets through, exactly like a real policer).
+
+        Args:
+            count: ACKs offered in this batch.
+            now: Current simulated time.
+
+        Returns:
+            The number admitted, between 0 and ``count``.
+        """
+        if self.last_time is not None and now > self.last_time:
+            self.tokens = min(float(self.capacity),
+                              self.tokens + (now - self.last_time) * self.rate)
+        self.last_time = now
+        admitted = min(count, int(self.tokens))
+        self.tokens -= admitted
+        return admitted
+
+
+class MiddleboxSender:
+    """A sender proxy applying the ACK-path middlebox chain.
+
+    Intercepts the two batched ACK entry points
+    (:meth:`~repro.tcp.connection.TcpSender.on_ack_run` and
+    :meth:`~repro.tcp.connection.TcpSender.on_ack_ladder`), filters the
+    round's ACKs through thinning, the policer and cross-traffic bursts in
+    that order, stretches the delivery time, and delegates the survivors.
+    Everything else proxies to the wrapped sender untouched.
+    """
+
+    def __init__(self, sender, config: MiddleboxConfig, stats: LinkStats):
+        """Wrap ``sender`` with the middlebox chain of ``config``.
+
+        Args:
+            sender: The real :class:`~repro.tcp.connection.TcpSender`.
+            config: The middlebox knobs.
+            stats: Shared per-server accounting for the drops.
+        """
+        object.__setattr__(self, "_sender", sender)
+        object.__setattr__(self, "_config", config)
+        object.__setattr__(self, "_stats", stats)
+        object.__setattr__(self, "_policer",
+                           None if config.policer_capacity is None else
+                           TokenBucketPolicer(config.policer_capacity,
+                                              config.policer_rate))
+
+    # --------------------------------------------------------- the ACK chain
+    def _in_burst(self, now: float) -> bool:
+        """Whether cross-traffic is bursting at time ``now``."""
+        config = self._config
+        if config.cross_period is not None:
+            if now % config.cross_period < config.cross_duration:
+                return True
+        return any(start <= now < end for start, end in config.cross_windows)
+
+    def _keep_mask(self, count: int, now: float) -> np.ndarray:
+        """Deterministic per-ACK keep mask for one round of ``count`` ACKs."""
+        config = self._config
+        stats = self._stats
+        keep = np.ones(count, dtype=bool)
+        if config.thin_every > 1:
+            thinned = (np.arange(1, count + 1) % config.thin_every) != 0
+            thinned[-1] = False  # the round's final ACK always escapes
+            dropped = int((keep & thinned).sum())
+            stats.thinned_acks += dropped
+            keep &= ~thinned
+        if self._policer is not None:
+            offered = int(keep.sum())
+            admitted = self._policer.admit(offered, now)
+            if admitted < offered:
+                stats.policer_dropped += offered - admitted
+                survivors = np.flatnonzero(keep)
+                keep[survivors[admitted:]] = False
+        if self._in_burst(now):
+            survivors = np.flatnonzero(keep)
+            victims = survivors[::config.cross_drop_every]
+            stats.cross_traffic_dropped += len(victims)
+            keep[victims] = False
+        stats.delivered += int(keep.sum())
+        return keep
+
+    # ------------------------------------------------ intercepted sender API
+    def on_ack_run(self, ladder, now):
+        """One round of cumulative ACKs, filtered through the middlebox chain.
+
+        Args:
+            ladder: Cumulative ACK values, one per received packet.
+            now: Current simulated time.
+
+        Returns:
+            The sender's emitted segments for the next round.
+        """
+        config = self._config
+        if config.is_neutral():
+            return self._sender.on_ack_run(ladder, now)
+        if ladder:
+            keep = self._keep_mask(len(ladder), now)
+            if not keep.all():
+                ladder = [value for value, kept in zip(ladder, keep) if kept]
+        return self._sender.on_ack_run(ladder, now + config.stretch_seconds)
+
+    def on_ack_ladder(self, runs, now):
+        """One round of compressed ACK runs, filtered through the chain.
+
+        Args:
+            runs: The compressed ``(kind, value, count)`` ladder runs.
+            now: Current simulated time.
+
+        Returns:
+            The sender's emitted blocks for the next round.
+        """
+        config = self._config
+        if config.is_neutral():
+            return self._sender.on_ack_ladder(runs, now)
+        total = sum(count for _, _, count in runs)
+        if total:
+            keep = self._keep_mask(total, now)
+            if not keep.all():
+                runs = _filter_ack_runs(runs, ~keep)
+        return self._sender.on_ack_ladder(runs, now + config.stretch_seconds)
+
+    # --------------------------------------------------- transparent proxying
+    def __getattr__(self, name):
+        """Delegate every non-intercepted attribute to the real sender.
+
+        Args:
+            name: Attribute name.
+
+        Returns:
+            The wrapped sender's attribute.
+        """
+        return getattr(self._sender, name)
+
+    def __setattr__(self, name, value):
+        """Forward attribute writes to the real sender.
+
+        Args:
+            name: Attribute name.
+            value: Value to set.
+        """
+        setattr(self._sender, name, value)
+
+
+class MiddleboxServer:
+    """A server proxy that puts a middlebox chain on every connection's ACKs.
+
+    Wraps any :class:`~repro.core.gather.ProbeableServer`; each sender the
+    inner server opens is returned inside a :class:`MiddleboxSender`. Like
+    the fault wrappers, this class is deliberately not an instance of the
+    concrete server types, so the columnar engine routes it onto the exact
+    scalar probe path.
+    """
+
+    _OWN = ("_server", "_config", "stats")
+
+    def __init__(self, server, config: MiddleboxConfig):
+        """Wrap ``server`` behind the middlebox chain of ``config``.
+
+        Args:
+            server: The real server (``WebServer`` or ``SyntheticServer``).
+            config: The middlebox knobs applied to every connection.
+        """
+        object.__setattr__(self, "_server", server)
+        object.__setattr__(self, "_config", config)
+        object.__setattr__(self, "stats", LinkStats())
+
+    def accepts_mss(self, mss: int) -> bool:
+        """Whether the wrapped server accepts a connection with this MSS.
+
+        Args:
+            mss: The proposed maximum segment size.
+
+        Returns:
+            The wrapped server's verdict (the middlebox is ACK-path only).
+        """
+        return self._server.accepts_mss(mss)
+
+    def uses_frto(self) -> bool:
+        """Whether the wrapped server runs F-RTO.
+
+        Returns:
+            The wrapped server's F-RTO flag.
+        """
+        return self._server.uses_frto()
+
+    def open_connection(self, mss: int, now: float, requested_bytes: int):
+        """Open a connection whose ACK path crosses the middlebox.
+
+        Args:
+            mss: Negotiated maximum segment size.
+            now: Connection open time (simulated seconds).
+            requested_bytes: Bytes the probe would like to transfer.
+
+        Returns:
+            The inner sender wrapped in a :class:`MiddleboxSender`, or
+            ``None`` if the wrapped server refuses the connection.
+        """
+        sender = self._server.open_connection(mss, now, requested_bytes)
+        if sender is None:
+            return None
+        return MiddleboxSender(sender, self._config, self.stats)
+
+    def __getattr__(self, name):
+        """Delegate every other attribute to the wrapped server.
+
+        Args:
+            name: Attribute name.
+
+        Returns:
+            The wrapped server's attribute (e.g. ``site``, ``profile``).
+        """
+        return getattr(self._server, name)
+
+    def __setattr__(self, name, value):
+        """Forward writes to the wrapped server (except wrapper-owned state).
+
+        Args:
+            name: Attribute name.
+            value: Value to set.
+        """
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._server, name, value)

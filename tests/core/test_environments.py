@@ -7,6 +7,7 @@ from repro.core.environments import (
     ENVIRONMENT_A,
     ENVIRONMENT_B,
     ENVIRONMENT_BUFFERBLOAT,
+    ENVIRONMENT_CELLULAR,
     ENVIRONMENT_HIGH_BDP,
     ENVIRONMENT_LOSSY_WIRELESS,
     ENVIRONMENT_PRESETS,
@@ -66,10 +67,12 @@ class TestConstants:
 class TestEnvironmentPresets:
     def test_registry_holds_paper_pair_and_scenarios(self):
         assert set(ENVIRONMENT_PRESETS) == {"A", "B", "high-bdp",
-                                            "lossy-wireless", "bufferbloat"}
+                                            "lossy-wireless", "bufferbloat",
+                                            "cellular"}
         assert environment_by_name("high-bdp") is ENVIRONMENT_HIGH_BDP
         assert environment_by_name("lossy-wireless") is ENVIRONMENT_LOSSY_WIRELESS
         assert environment_by_name("bufferbloat") is ENVIRONMENT_BUFFERBLOAT
+        assert environment_by_name("cellular") is ENVIRONMENT_CELLULAR
 
     def test_defaults_stay_the_paper_pair(self):
         # The shipped classifier is trained on A/B traces only; scenario

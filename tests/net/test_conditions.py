@@ -79,7 +79,8 @@ class TestDefaultDatabase:
 class TestConditionPresets:
     def test_expected_preset_names(self):
         assert set(CONDITION_DB_PRESETS) == {"paper", "high-bdp",
-                                             "lossy-wireless", "bufferbloat"}
+                                             "lossy-wireless", "bufferbloat",
+                                             "cellular-trace"}
 
     @pytest.mark.parametrize("name", sorted(CONDITION_DB_PRESETS))
     def test_presets_yield_valid_sampleable_databases(self, name):

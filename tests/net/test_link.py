@@ -148,3 +148,53 @@ class TestDuplexLink:
         duplex = DuplexLink.symmetric(simulator, one_way_delay=0.1, loss_probability=0.05)
         assert duplex.forward.delay == duplex.backward.delay == 0.1
         assert duplex.forward.loss_probability == 0.05
+
+
+class TestOutageValidation:
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ValueError, match="start < end"):
+            NetemLink(simulator=EventSimulator(), delay=0.1,
+                      outages=((2.0, 1.0),))
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="non-overlapping"):
+            NetemLink(simulator=EventSimulator(), delay=0.1,
+                      outages=((0.0, 2.0), (1.0, 3.0)))
+
+    def test_unsorted_windows_rejected(self):
+        with pytest.raises(ValueError, match="non-overlapping"):
+            NetemLink(simulator=EventSimulator(), delay=0.1,
+                      outages=((5.0, 6.0), (1.0, 2.0)))
+
+    def test_malformed_pair_rejected_with_index(self):
+        with pytest.raises(ValueError, match=r"outages\[1\]"):
+            NetemLink(simulator=EventSimulator(), delay=0.1,
+                      outages=((0.0, 1.0), "soon"))
+
+    def test_touching_windows_accepted(self):
+        link = NetemLink(simulator=EventSimulator(), delay=0.1,
+                         outages=((0.0, 1.0), (1.0, 2.5)))
+        assert link.outages == ((0.0, 1.0), (1.0, 2.5))
+
+    def test_windows_normalized_to_float_tuples(self):
+        link = NetemLink(simulator=EventSimulator(), delay=0.1,
+                         outages=[[0, 1], [2, 3]])
+        assert link.outages == ((0.0, 1.0), (2.0, 3.0))
+
+
+class TestScenarioStats:
+    def test_offered_counts_scenario_drops(self):
+        from repro.net.link import LinkStats
+
+        stats = LinkStats(delivered=5, dropped=1, outage_dropped=1,
+                          policer_dropped=1, thinned_acks=1,
+                          cross_traffic_dropped=1)
+        assert stats.offered == 10
+
+    def test_loss_rate_counts_only_random_loss(self):
+        from repro.net.link import LinkStats
+
+        stats = LinkStats(delivered=6, dropped=1, policer_dropped=2,
+                          thinned_acks=1)
+        assert stats.loss_rate() == pytest.approx(0.1)
+        assert LinkStats().loss_rate() == 0.0

@@ -1,0 +1,161 @@
+"""Tests for trace loading, replay and trace-derived condition databases."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    LinkTrace,
+    TraceEntry,
+    cellular_condition_database,
+    load_trace,
+    merge_traces,
+    packaged_trace,
+    parse_trace,
+    trace_condition_database,
+)
+
+
+def entries(*rows):
+    return tuple(TraceEntry(time=t, bandwidth_mbps=bw, delay_ms=d, loss=l)
+                 for t, bw, d, l in rows)
+
+
+class TestTraceEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="time"):
+            TraceEntry(time=-1.0, bandwidth_mbps=1.0, delay_ms=10.0, loss=0.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            TraceEntry(time=0.0, bandwidth_mbps=0.0, delay_ms=10.0, loss=0.0)
+        with pytest.raises(ValueError, match="delay"):
+            TraceEntry(time=0.0, bandwidth_mbps=1.0, delay_ms=-1.0, loss=0.0)
+        with pytest.raises(ValueError, match="loss"):
+            TraceEntry(time=0.0, bandwidth_mbps=1.0, delay_ms=10.0, loss=1.0)
+
+
+class TestLinkTrace:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            LinkTrace(name="empty", entries=())
+
+    def test_out_of_order_timestamps_rejected(self):
+        rows = entries((0.0, 1.0, 10.0, 0.0), (2.0, 1.0, 10.0, 0.0),
+                       (1.0, 1.0, 10.0, 0.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LinkTrace(name="bad", entries=rows)
+
+    def test_duplicate_timestamps_rejected(self):
+        rows = entries((0.0, 1.0, 10.0, 0.0), (0.0, 2.0, 10.0, 0.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LinkTrace(name="dup", entries=rows)
+
+    def test_single_entry_trace(self):
+        trace = LinkTrace(name="one", entries=entries((0.0, 5.0, 20.0, 0.01)))
+        assert trace.horizon == 0.0
+        for t in (-1.0, 0.0, 100.0):
+            for mode in ("hold", "wrap"):
+                assert trace.at(t, mode=mode).bandwidth_mbps == 5.0
+
+    def test_hold_vs_wrap_past_horizon(self):
+        trace = LinkTrace(name="two", entries=entries(
+            (0.0, 1.0, 10.0, 0.0), (10.0, 2.0, 20.0, 0.0)))
+        assert trace.horizon == 10.0
+        # Within the horizon the modes agree.
+        assert trace.at(4.0, mode="hold") == trace.at(4.0, mode="wrap")
+        # Past it: hold pins the last entry, wrap replays from the start.
+        assert trace.at(25.0, mode="hold").bandwidth_mbps == 2.0
+        assert trace.at(25.0, mode="wrap").bandwidth_mbps == 1.0  # 25 % 10 = 5
+        assert trace.at(30.0, mode="wrap").bandwidth_mbps == 1.0  # lands on 0
+
+    def test_negative_time_clamps_to_first_entry(self):
+        trace = LinkTrace(name="two", entries=entries(
+            (0.0, 1.0, 10.0, 0.0), (10.0, 2.0, 20.0, 0.0)))
+        assert trace.at(-5.0).bandwidth_mbps == 1.0
+
+    def test_unknown_mode_rejected(self):
+        trace = LinkTrace(name="one", entries=entries((0.0, 1.0, 10.0, 0.0)))
+        with pytest.raises(ValueError, match="mode"):
+            trace.at(0.0, mode="bounce")
+
+
+class TestParseTrace:
+    def test_parse_skips_blank_lines(self):
+        lines = ["", json.dumps({"time": 0.0, "bandwidth_mbps": 1.0,
+                                 "delay_ms": 10.0, "loss": 0.0}), "   "]
+        trace = parse_trace(lines, name="t")
+        assert len(trace.entries) == 1
+
+    def test_empty_input_is_loud(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            parse_trace([], name="t")
+
+    def test_bad_json_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_trace(['{"time": 0, "bandwidth_mbps": 1, "delay_ms": 1, '
+                         '"loss": 0}', "{nope"], name="t")
+
+    def test_missing_key_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_trace(['{"time": 0}'], name="t")
+
+    def test_load_trace_uses_stem_as_name(self, tmp_path):
+        path = tmp_path / "metro.jsonl"
+        path.write_text(json.dumps({"time": 0.0, "bandwidth_mbps": 3.0,
+                                    "delay_ms": 30.0, "loss": 0.0}) + "\n")
+        assert load_trace(path).name == "metro"
+
+
+class TestMergeTraces:
+    def test_merge_namespaces_by_index(self):
+        a = LinkTrace(name="cell", entries=entries((0.0, 1.0, 10.0, 0.0)))
+        b = LinkTrace(name="wifi", entries=entries((0.0, 2.0, 5.0, 0.0)))
+        merged = merge_traces([a, b])
+        assert set(merged) == {"0-cell", "1-wifi"}
+
+    def test_same_name_twice_gets_distinct_keys(self):
+        a = LinkTrace(name="cell", entries=entries((0.0, 1.0, 10.0, 0.0)))
+        merged = merge_traces([a, a])
+        assert set(merged) == {"0-cell", "1-cell"}
+
+    def test_merge_into_existing_batch_continues_indices(self):
+        a = LinkTrace(name="cell", entries=entries((0.0, 1.0, 10.0, 0.0)))
+        b = LinkTrace(name="wifi", entries=entries((0.0, 2.0, 5.0, 0.0)))
+        merged = merge_traces([b], into=merge_traces([a]))
+        assert set(merged) == {"0-cell", "1-wifi"}
+
+    def test_overlapping_namespace_collision_is_loud(self):
+        cell = LinkTrace(name="cell", entries=entries((0.0, 1.0, 1.0, 0.0)))
+        with pytest.raises(ValueError, match="collision"):
+            merge_traces([cell], into={"1-cell": cell})
+
+
+class TestPackagedTraces:
+    def test_cellular_trace_loads(self):
+        trace = packaged_trace("cellular")
+        assert trace.name == "cellular"
+        assert len(trace.entries) >= 16
+        assert trace.horizon > 0
+
+    def test_unknown_packaged_trace_lists_available(self):
+        with pytest.raises(ValueError, match="cellular"):
+            packaged_trace("starlink")
+
+
+class TestTraceConditionDatabase:
+    def test_deterministic_and_bounded(self):
+        trace = packaged_trace("cellular")
+        db_a = trace_condition_database(trace, size=64, seed=9)
+        db_b = trace_condition_database(trace, size=64, seed=9)
+        assert len(db_a) == 64
+        conditions_a = [db_a.sample(np.random.default_rng(i)) for i in range(8)]
+        conditions_b = [db_b.sample(np.random.default_rng(i)) for i in range(8)]
+        assert conditions_a == conditions_b
+        for condition in conditions_a:
+            assert 0.005 <= condition.average_rtt <= 0.79
+            assert 0.0002 <= condition.rtt_std <= 0.25
+            assert 0.0 <= condition.loss_rate <= 0.15
+
+    def test_cellular_database_shortcut(self):
+        db = cellular_condition_database(size=32, seed=5)
+        assert len(db) == 32
