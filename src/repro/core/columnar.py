@@ -414,8 +414,12 @@ class _LaneRunner:
         self.gatherer = TraceGatherer(job.config, self.engine.environments)
         self.env_index = 0
         self.traces = []
-        if not server_admissible(job.server):
+        if not server_admissible(job.server) or job.condition.ecn_mark_rate > 0.0:
             # The whole probe runs scalar; the lane schedule is unaffected.
+            # ECN-capable conditions always take this path: the vector
+            # kernels know nothing about mark draws or per-round ECN
+            # feedback, so any condition that can mark at all is handed to
+            # the round-level gatherer before a lane is built.
             began = time.perf_counter()
             probe = self.gatherer.gather_probe(job.server, job.condition,
                                                job.rng, job.server_id)

@@ -260,3 +260,78 @@ class FeatureExtractor:
         growth_1 = windows[first_index] - base
         growth_2 = windows[-1] - base
         return growth_1, growth_2
+
+
+# ----------------------------------------------------- candidate features
+# Secondary metrics aimed at the post-2011 families (BBR, DCTCP, learned
+# CC). They are deliberately NOT part of :class:`FeatureVector` -- the
+# paper's classifier stays a 7-element reproduction -- but the
+# ``modern_families`` experiment reports them as separability diagnostics
+# and they are the natural candidates for an 8/9-element vector later.
+
+def pacing_rate_signature(trace: WindowTrace,
+                          extractor: FeatureExtractor | None = None) -> float:
+    """Oscillation of the post-boundary send rate (a BBR tell).
+
+    Rate-paced senders such as BBR cycle their pacing gain around the
+    estimated BDP instead of growing the window monotonically, so after the
+    post-timeout boundary the round-to-round window ratios oscillate around
+    1.0 rather than decaying smoothly toward it. Returns the standard
+    deviation of those ratios; near 0 for AIMD growers, visibly larger for
+    a gain-cycling sender.
+
+    Args:
+        trace: A valid window trace.
+        extractor: Extractor used to locate the boundary round (defaults to
+            a fresh :class:`FeatureExtractor`).
+
+    Returns:
+        The ratio standard deviation, or 0.0 when fewer than two
+        post-boundary ratios exist.
+    """
+    extractor = extractor or FeatureExtractor()
+    features = extractor.extract_trace(trace)
+    boundary = features.boundary_round
+    windows = list(trace.post_timeout)
+    if boundary is None:
+        return 0.0
+    ratios = [windows[i + 1] / windows[i]
+              for i in range(boundary, len(windows) - 1) if windows[i] > 0]
+    if len(ratios) < 2:
+        return 0.0
+    return float(np.std(ratios))
+
+
+def rtt_gradient_response(probe: ProbeTrace,
+                          extractor: FeatureExtractor | None = None) -> float:
+    """How strongly environment B's RTT gradient suppresses window growth.
+
+    Environment B drops the RTT for a few rounds and then restores it -- a
+    positive RTT gradient that delay-reactive senders (VEGAS, BBR, the
+    learned policy) read as queue build-up. Returns the relative shortfall
+    of B's post-boundary growth versus A's, clamped to [0, 1]: 0 for a
+    loss-based grower that ignores delay entirely, 1 for a sender whose
+    growth collapses under B (including the VEGAS-style case where B never
+    reaches the emulated timeout at all).
+
+    Args:
+        probe: A probe whose environment-A trace is valid.
+        extractor: Extractor used for the per-trace features.
+
+    Returns:
+        The clamped relative growth shortfall.
+
+    Raises:
+        ValueError: If the environment-A trace is invalid.
+    """
+    if not probe.trace_a.is_valid:
+        raise ValueError("rtt_gradient_response requires a valid environment-A trace")
+    extractor = extractor or FeatureExtractor()
+    features_a = extractor.extract_trace(probe.trace_a)
+    if not probe.trace_b.is_valid:
+        return 1.0
+    features_b = extractor.extract_trace(probe.trace_b)
+    if features_a.growth_2 <= 0:
+        return 0.0
+    shortfall = (features_a.growth_2 - features_b.growth_2) / features_a.growth_2
+    return min(max(shortfall, 0.0), 1.0)

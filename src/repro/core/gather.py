@@ -259,6 +259,7 @@ class TraceGatherer:
             if window > config.w_timeout:
                 timed_out = True
                 break
+            self._ecn_feedback(sender, len(received), condition, rng, now)
             segments, lost_acks = self._acknowledge(sender, received, condition,
                                                     rng, now, highest_end)
             trace.ack_loss_events += lost_acks
@@ -313,6 +314,7 @@ class TraceGatherer:
             if self._past_deadline(now, start_time):
                 trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
                 return trace
+            self._ecn_feedback(sender, len(received), condition, rng, now)
             segments, lost_acks = self._acknowledge(sender, received, condition,
                                                     rng, now, highest_end)
             trace.ack_loss_events += lost_acks
@@ -335,6 +337,26 @@ class TraceGatherer:
             return list(segments)
         kept = rng.random(len(segments)) >= condition.loss_rate
         return [seg for seg, keep in zip(segments, kept) if keep]
+
+    def _ecn_feedback(self, sender: TcpSender, packet_count: int,
+                      condition: NetworkCondition, rng: np.random.Generator,
+                      now: float) -> None:
+        """Mark the round's delivered packets and echo the count, maybe.
+
+        One Bernoulli draw per delivered packet (vectorised, on the probe's
+        own stream) when the condition's ``ecn_mark_rate`` is non-zero; the
+        marked count rides back to the sender as one feedback call per round,
+        just before the round's ACK ladder. The segment and block paths call
+        this with identical packet counts at identical points, so their rng
+        streams stay in lock step with ECN on. With the default rate of 0.0
+        the method consumes no draws and makes no calls -- every historic
+        trace is byte-identical.
+        """
+        if condition.ecn_mark_rate <= 0.0 or packet_count <= 0:
+            return
+        marked = int((rng.random(packet_count) < condition.ecn_mark_rate).sum())
+        if marked:
+            sender.ecn_feedback(marked, packet_count, now)
 
     def _window_estimate(self, received: list[Segment], highest_end: int,
                          highest_prev: int) -> float:
@@ -423,6 +445,8 @@ class TraceGatherer:
             if window > config.w_timeout:
                 timed_out = True
                 break
+            self._ecn_feedback(sender, block_packet_count(received), condition,
+                               rng, now)
             blocks, lost_acks = self._acknowledge_blocks(sender, received, condition,
                                                          rng, now, highest_pkt)
             trace.ack_loss_events += lost_acks
@@ -482,6 +506,8 @@ class TraceGatherer:
             if self._past_deadline(now, start_time):
                 trace.invalid_reason = InvalidReason.PROBE_TIMEOUT
                 return trace
+            self._ecn_feedback(sender, block_packet_count(received), condition,
+                               rng, now)
             blocks, lost_acks = self._acknowledge_blocks(sender, received, condition,
                                                          rng, now, highest_pkt)
             trace.ack_loss_events += lost_acks

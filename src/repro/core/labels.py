@@ -22,6 +22,35 @@ SMALL_W_TIMEOUTS: tuple[int, ...] = (64, 128)
 #: ``w_timeout`` values at which RENO and the CTCP versions stay separable.
 BIG_W_TIMEOUTS: tuple[int, ...] = (256, 512)
 
+#: Post-2011 families outside the paper's catalogue (mirrors
+#: ``repro.tcp.registry.MODERN_ALGORITHMS``, re-declared here so the label
+#: layer stays import-light). The ``modern_families`` experiment appends them
+#: to :data:`~repro.tcp.registry.IDENTIFIABLE_ALGORITHMS` for the extended
+#: 17-class classifier; the paper-faithful experiments never see them.
+MODERN_ALGORITHMS: tuple[str, ...] = ("bbr", "dctcp", "learned")
+#: Presentation names for the modern families (``.upper()`` would mangle
+#: the learned-CC hook's name).
+MODERN_LABELS: dict[str, str] = {
+    "bbr": "BBR",
+    "dctcp": "DCTCP",
+    "learned": "Learned-CC",
+}
+
+
+def extended_identifiable(identifiable: tuple[str, ...]) -> tuple[str, ...]:
+    """The classifier's class set extended with the modern families.
+
+    Args:
+        identifiable: The paper's identifiable set (usually
+            ``IDENTIFIABLE_ALGORITHMS``).
+
+    Returns:
+        ``identifiable`` with :data:`MODERN_ALGORITHMS` appended (order
+        preserved, no duplicates).
+    """
+    return identifiable + tuple(
+        name for name in MODERN_ALGORITHMS if name not in identifiable)
+
 
 def training_label(algorithm: str, w_timeout: int) -> str:
     """The class label of a training vector for ``algorithm`` at ``w_timeout``."""
@@ -38,6 +67,8 @@ def presentation_label(label: str, w_timeout: int | None = None) -> str:
         return "RC-small"
     if label == UNSURE:
         return "Unsure TCP"
+    if label in MODERN_LABELS:
+        return MODERN_LABELS[label]
     return label.upper()
 
 

@@ -970,6 +970,203 @@ def render_robustness_scenarios(payload: dict) -> str:
             "(percentage points):\n\n" + delta_table + "\n\n" + summary)
 
 
+# ================================================= Modern families
+#: Seed of the mixed classic+modern census probe stream (independent of the
+#: paper census so neither can perturb the other).
+MODERN_CENSUS_SEED = 23
+#: Seed of the clean-path probes feeding the candidate-feature diagnostics.
+MODERN_FEATURES_SEED = 29
+#: Reference classic families shown next to the modern ones in the
+#: candidate-feature table.
+MODERN_FEATURE_REFERENCES = ("reno", "cubic-b", "vegas")
+
+
+def compute_modern_families(context: ExperimentContext) -> dict:
+    """Extend the classifier to the post-2011 families (BBR, DCTCP, learned).
+
+    Retrains the random forest over the paper's 14 identifiable algorithms
+    plus :data:`~repro.tcp.registry.MODERN_ALGORITHMS`, cross-validates the
+    extended 17-class problem, runs a Table IV-style census over a synthetic
+    population mixing classic and modern families, and reports the candidate
+    features (pacing-rate signature, RTT-gradient response) that separate
+    the modern families from the classic ones.
+
+    Args:
+        context: The run context; uses the shared condition database.
+
+    Returns:
+        The payload with the extended confusion matrix, the mixed census
+        table and the candidate-feature diagnostics.
+    """
+    from repro.core.classifier import CaaiClassifier
+    from repro.core.features import pacing_rate_signature, rtt_gradient_response
+    from repro.core.gather import probe_with_w_timeout_ladder
+    from repro.core.labels import extended_identifiable, presentation_label
+    from repro.core.training import TrainingSetBuilder
+    from repro.tcp.registry import MODERN_ALGORITHMS
+
+    profile = context.profile
+    families = extended_identifiable(IDENTIFIABLE_ALGORITHMS)
+    database = context.pool.condition_database()
+
+    # -- extended training set + cross-validated confusion matrix
+    builder = TrainingSetBuilder(
+        conditions_per_pair=profile.training_conditions_per_pair,
+        algorithms=families, seed=profile.training_seed,
+        condition_database=database)
+    dataset = builder.build_dataset(executor=context.executor)
+    result = cross_validate(
+        dataset,
+        lambda: RandomForestClassifier(n_trees=profile.forest_trees,
+                                       max_features=4, seed=1),
+        n_folds=profile.cross_validation_folds, seed=1,
+        description="random forest (classic + modern families)")
+    matrix = result.confusion
+    per_class = matrix.per_class_accuracy()
+    modern_accuracies = [float(per_class[name]) for name in MODERN_ALGORITHMS
+                         if name in per_class]
+
+    # -- Table IV-style census over a mixed classic+modern population
+    classifier = CaaiClassifier(n_trees=profile.forest_trees,
+                                seed=profile.forest_seed).train(dataset)
+    rng = np.random.default_rng(MODERN_CENSUS_SEED)
+    per_family = max(2, profile.census_size // len(families))
+    census_rows = []
+    correct = probed = usable = 0
+    for family in families:
+        tally: dict[str, int] = {}
+        family_usable = 0
+        for _ in range(per_family):
+            condition = database.sample(rng)
+            server = SyntheticServer(
+                family, lambda mss: SenderConfig(mss=mss, initial_window=3))
+            probe = probe_with_w_timeout_ladder(server, condition, rng, mss=100)
+            probed += 1
+            if not probe.usable_for_features:
+                continue
+            family_usable += 1
+            usable += 1
+            identified = classifier.classify_probe(probe).reported_label
+            tally[identified] = tally.get(identified, 0) + 1
+            if identified == family:
+                correct += 1
+        census_rows.append({
+            "family": family,
+            "modern": family in MODERN_ALGORITHMS,
+            "probed": per_family,
+            "usable": family_usable,
+            "identified_as": {label: count for label, count in
+                              sorted(tally.items(), key=lambda kv: -kv[1])},
+        })
+
+    # -- candidate features on clean-path probes
+    feature_rng = np.random.default_rng(MODERN_FEATURES_SEED)
+    gatherer = TraceGatherer(GatherConfig(w_timeout=512, mss=100))
+    candidates = {}
+    for family in tuple(MODERN_ALGORITHMS) + MODERN_FEATURE_REFERENCES:
+        server = SyntheticServer(
+            family, lambda mss: SenderConfig(mss=mss, initial_window=3))
+        probe = gatherer.gather_probe(server, NetworkCondition.ideal(),
+                                      feature_rng)
+        if not probe.usable_for_features:
+            candidates[family] = {"pacing_rate_signature": None,
+                                  "rtt_gradient_response": None}
+            continue
+        candidates[family] = {
+            "pacing_rate_signature": float(pacing_rate_signature(probe.trace_a)),
+            "rtt_gradient_response": float(rtt_gradient_response(probe)),
+        }
+
+    return {
+        "families": list(families),
+        "modern_families": list(MODERN_ALGORITHMS),
+        "labels": list(matrix.labels),
+        "row_percentages": [[float(v) for v in row]
+                            for row in matrix.row_percentages()],
+        "per_class_accuracy": {label: float(value) for label, value in
+                               sorted(per_class.items())},
+        "presentation_labels": {name: presentation_label(name)
+                                for name in families},
+        "census_rows": census_rows,
+        "candidate_features": candidates,
+        "metrics": {
+            "n_families": float(len(families)),
+            "extended_cv_accuracy": float(result.accuracy),
+            "modern_mean_cv_accuracy":
+                float(np.mean(modern_accuracies)) if modern_accuracies else 0.0,
+            "census_identification_accuracy":
+                float(correct / usable) if usable else 0.0,
+            "census_usable_fraction":
+                float(usable / probed) if probed else 0.0,
+        },
+    }
+
+
+def render_modern_families(payload: dict) -> str:
+    """Render the modern-families section as Markdown.
+
+    Args:
+        payload: The :func:`compute_modern_families` payload.
+
+    Returns:
+        The Markdown section body: the extended confusion matrix, the mixed
+        census table and the candidate-feature diagnostics.
+    """
+    labels = payload["labels"]
+    headers = ["true \\ predicted"] + labels
+    matrix_rows = []
+    for label, row in zip(labels, payload["row_percentages"]):
+        matrix_rows.append([label] + [f"{value:.1f}" for value in row])
+    metrics = payload["metrics"]
+    confusion = (
+        f"Extended confusion matrix over "
+        f"{int(metrics['n_families'])} families (row percentages); overall "
+        f"cross-validation accuracy **{100 * metrics['extended_cv_accuracy']:.2f}%**, "
+        f"mean accuracy on the modern families "
+        f"{100 * metrics['modern_mean_cv_accuracy']:.2f}%.\n\n"
+        + format_markdown_table(headers, matrix_rows))
+
+    census_rows = []
+    for row in payload["census_rows"]:
+        top = ", ".join(f"{label} ({count})" for label, count in
+                        list(row["identified_as"].items())[:3]) or "-"
+        census_rows.append([
+            payload["presentation_labels"].get(row["family"], row["family"]),
+            "modern" if row["modern"] else "classic",
+            str(row["probed"]), str(row["usable"]), top,
+        ])
+    census = (
+        "Mixed classic+modern census (equal per-family draws from the "
+        "measured condition database, probed down the `w_timeout` ladder); "
+        f"identification accuracy on usable probes "
+        f"**{100 * metrics['census_identification_accuracy']:.1f}%** at "
+        f"{100 * metrics['census_usable_fraction']:.1f}% usable.\n\n"
+        + format_markdown_table(
+            ["Family", "Era", "Probed", "Usable", "Identified as (top 3)"],
+            census_rows))
+
+    feature_rows = []
+    for family, values in payload["candidate_features"].items():
+        pacing = values["pacing_rate_signature"]
+        gradient = values["rtt_gradient_response"]
+        feature_rows.append([
+            payload["presentation_labels"].get(family, family),
+            "-" if pacing is None else f"{pacing:.3f}",
+            "-" if gradient is None else f"{gradient:.3f}",
+        ])
+    features = (
+        "Candidate features (not in the paper's 7-element vector): the "
+        "pacing-rate signature is the post-boundary window-ratio spread "
+        "(BBR's gain cycle oscillates where AIMD growth decays smoothly); "
+        "the RTT-gradient response is environment B's relative growth "
+        "shortfall (delay-reactive senders back off under B's RTT step).\n\n"
+        + format_markdown_table(
+            ["Family", "Pacing-rate signature", "RTT-gradient response"],
+            feature_rows))
+
+    return "\n\n".join([confusion, census, features])
+
+
 # ---------------------------------------------------------------- registry
 register(Experiment(
     name="table1", kind="table",
@@ -1095,6 +1292,21 @@ register(Experiment(
                 "Nonincreasing Window, Approaching w_t and Bounded Window.",
     compute=compute_fig13_18, render=render_fig13_18,
     config={"seed": FIG13_18_SEED, "w_timeout": 512}))
+
+register(Experiment(
+    name="modern_families", kind="section",
+    title="Modern families — BBR, DCTCP and a learned-CC hook",
+    description="CAAI extended past the paper's 2011 catalogue: the random "
+                "forest retrained over the 14 identifiable algorithms plus "
+                "BBR v1, DCTCP and the table-driven learned-CC policy, the "
+                "17-class confusion matrix, a census over a mixed "
+                "classic+modern population, and the candidate features "
+                "(pacing-rate signature, RTT-gradient response) that "
+                "separate the modern families.",
+    compute=compute_modern_families, render=render_modern_families,
+    shared_resources=("condition_database",),
+    config={"census_seed": MODERN_CENSUS_SEED,
+            "features_seed": MODERN_FEATURES_SEED}))
 
 register(Experiment(
     name="robustness_scenarios", kind="section",

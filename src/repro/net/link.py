@@ -9,6 +9,7 @@ discrete-event simulator.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -76,6 +77,8 @@ class LinkStats:
     thinned_acks: int = 0
     #: ACKs lost to a scenario-layer cross-traffic burst.
     cross_traffic_dropped: int = 0
+    #: Data segments delivered with an ECN congestion-experienced mark.
+    ecn_marked: int = 0
 
     @property
     def offered(self) -> int:
@@ -111,6 +114,13 @@ class NetemLink:
     inside an ``(start, end)`` window is dropped outright, consuming no rng
     draws — an empty tuple (the default) leaves the link's behaviour and rng
     stream untouched.
+
+    ``ecn_mark_probability`` makes the link ECN-capable: each surviving data
+    segment is independently marked congestion-experienced with this
+    probability (delivered as a copy with ``ecn_ce=True``) instead of being
+    dropped. Like ``outages``, the default of 0.0 is draw-transparent — the
+    marking branch consumes no rng draws and delivers the original objects,
+    so every existing trace stays byte-identical.
     """
 
     simulator: EventSimulator
@@ -121,12 +131,14 @@ class NetemLink:
     duplicate_probability: float = 0.0
     min_delay: float = 1e-4
     outages: tuple = ()
+    ecn_mark_probability: float = 0.0
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     stats: LinkStats = field(default_factory=LinkStats)
     _last_delivery: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
-        for name in ("loss_probability", "reorder_probability", "duplicate_probability"):
+        for name in ("loss_probability", "reorder_probability",
+                     "duplicate_probability", "ecn_mark_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
@@ -154,6 +166,8 @@ class NetemLink:
         if self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
             return
+        if self.ecn_mark_probability:
+            payload = self._maybe_mark(payload)
         self._schedule_delivery(payload, deliver)
         if self.rng.random() < self.duplicate_probability:
             self.stats.duplicated += 1
@@ -175,6 +189,21 @@ class NetemLink:
             return
         for segment in segments():
             self.send(segment, deliver)
+
+    def _maybe_mark(self, payload):
+        """Mark a surviving data segment congestion-experienced, maybe.
+
+        Only reached when ``ecn_mark_probability`` is non-zero, so the
+        default configuration never draws here. Payloads without an
+        ``ecn_ce`` field (ACKs, raw values) pass through untouched and
+        without a draw, keeping mark draws strictly per data packet.
+        """
+        if getattr(payload, "ecn_ce", None) is not False:
+            return payload
+        if self.rng.random() >= self.ecn_mark_probability:
+            return payload
+        self.stats.ecn_marked += 1
+        return dataclasses.replace(payload, ecn_ce=True)
 
     def _schedule_delivery(self, payload, deliver: Callable[[object], None]) -> None:
         one_way = self._sample_delay()

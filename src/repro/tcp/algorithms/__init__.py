@@ -7,13 +7,23 @@ extracts -- the multiplicative decrease parameter and the early
 congestion-avoidance growth -- are direct consequences of those update rules.
 """
 
+from repro.tcp.algorithms.bbr import Bbr
 from repro.tcp.algorithms.bic import Bic
 from repro.tcp.algorithms.ctcp import CompoundTcp, CtcpA, CtcpB
 from repro.tcp.algorithms.cubic import Cubic, CubicA, CubicB
+from repro.tcp.algorithms.dctcp import Dctcp
 from repro.tcp.algorithms.hstcp import HighSpeedTcp
 from repro.tcp.algorithms.htcp import HTcp
 from repro.tcp.algorithms.hybla import Hybla
 from repro.tcp.algorithms.illinois import Illinois
+from repro.tcp.algorithms.learned import (
+    LearnedAction,
+    LearnedCc,
+    LearnedPolicy,
+    LearnedPolicyError,
+    Observation,
+    TableDrivenPolicy,
+)
 from repro.tcp.algorithms.lp import LowPriorityTcp
 from repro.tcp.algorithms.reno import Reno
 from repro.tcp.algorithms.scalable import ScalableTcp
@@ -23,6 +33,7 @@ from repro.tcp.algorithms.westwood import WestwoodPlus
 from repro.tcp.algorithms.yeah import Yeah
 
 __all__ = [
+    "Bbr",
     "Bic",
     "CompoundTcp",
     "CtcpA",
@@ -30,13 +41,20 @@ __all__ = [
     "Cubic",
     "CubicA",
     "CubicB",
+    "Dctcp",
     "HighSpeedTcp",
     "HTcp",
     "Hybla",
     "Illinois",
+    "LearnedAction",
+    "LearnedCc",
+    "LearnedPolicy",
+    "LearnedPolicyError",
     "LowPriorityTcp",
+    "Observation",
     "Reno",
     "ScalableTcp",
+    "TableDrivenPolicy",
     "Vegas",
     "Veno",
     "WestwoodPlus",

@@ -1,0 +1,208 @@
+"""BBR version 1 (Cardwell et al., "BBR: Congestion-Based Congestion
+Control", ACM Queue 2016), mapped onto the round-driven probe model.
+
+BBR is rate-based: it estimates the bottleneck bandwidth (windowed maximum
+of delivery-rate samples) and the round-trip propagation delay (windowed
+minimum RTT) and paces at ``pacing_gain x BtlBw``, cycling the gain through
+a probe/drain pattern. The emulated CAAI environments have no bottleneck --
+the window *is* the per-round send rate -- so pacing maps naturally onto the
+round model: once per RTT round the state machine sets the next round's
+congestion window to ``pacing_gain x BtlBw x RTprop`` (the paced amount of
+data one round emits). The 2 x BDP cwnd cap of the real implementation only
+guards against ACK aggregation, which the per-packet-ACK environments never
+produce, so the pacing target alone drives the window.
+
+State machine (BBRv1):
+
+* STARTUP doubles every round (the ``2/ln 2`` pacing gain rounds to the
+  standard slow-start doubling at window granularity) until the bandwidth
+  filter plateaus -- three consecutive rounds growing less than 25 %.
+* DRAIN drops the window to ``1 x BDP`` for one round to empty the queue
+  startup built.
+* PROBE-BW cycles the pacing gain through ``1.25, 0.75, 1, 1, 1, 1, 1, 1``.
+  Against the uncapped emulated environments the 1.25 probe raises the
+  bandwidth *maximum* filter each cycle, so the window ratchets up ~25 % per
+  8 rounds -- which is what eventually trips CAAI's emulated timeout.
+* PROBE-RTT collapses the window to four packets for one round whenever the
+  min-RTT estimate has not been refreshed for ten rounds, then re-arms the
+  filter and returns to PROBE-BW.
+
+The trace signature is unlike any of the paper's 14 loss-based families:
+``ssthresh_after_loss`` returns the *current* window (beta = 1.0 -- BBRv1
+ignores packet loss), so after the emulated timeout the window climbs
+straight back to the pre-timeout level, and congestion avoidance shows the
+gain-cycle oscillation instead of a growth function.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+#: BBRv1 phase names (exposed for the state-machine tests).
+STARTUP = "startup"
+DRAIN = "drain"
+PROBE_BW = "probe-bw"
+PROBE_RTT = "probe-rtt"
+
+
+class Bbr(CongestionAvoidance):
+    """BBRv1 rate/cwnd-gain state machine on the round-driven model."""
+
+    name = "bbr"
+    label = "BBR v1"
+    delay_based = True
+    batch_decoupled = True
+
+    #: PROBE-BW pacing-gain cycle (RFC draft-cardwell-iccrg-bbr-congestion-control).
+    PACING_GAIN_CYCLE: tuple[float, ...] = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    #: Window (in rounds) of the max-bandwidth filter.
+    BW_FILTER_ROUNDS = 10
+    #: Startup exits once the filtered bandwidth grew less than this factor
+    #: for :attr:`STARTUP_PLATEAU_ROUNDS` consecutive rounds.
+    STARTUP_GROWTH_FACTOR = 1.25
+    STARTUP_PLATEAU_ROUNDS = 3
+    #: Rounds without a min-RTT refresh before PROBE-RTT is entered.
+    MIN_RTT_EXPIRY_ROUNDS = 10
+    #: Window held during PROBE-RTT, and the floor of every pacing target.
+    PROBE_RTT_CWND = 4.0
+    #: Rounds spent at the PROBE-RTT floor before returning to PROBE-BW.
+    PROBE_RTT_ROUNDS = 1
+
+    def __init__(self) -> None:
+        self._reset_model()
+
+    # -- lifecycle ---------------------------------------------------------
+    def on_connection_start(self, state: CongestionState) -> None:
+        self._reset_model()
+
+    def _reset_model(self) -> None:
+        self.phase = STARTUP
+        self._round = 0
+        #: Windowed delivery-rate samples as ``(round, packets_per_second)``.
+        self._bw_samples: list[tuple[int, float]] = []
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._min_rtt = math.inf
+        self._min_rtt_round = 0
+        self._cycle_index = 0
+        self._probe_rtt_until = 0
+
+    # -- window growth -----------------------------------------------------
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        # BBR adjusts its window once per RTT round (in on_round_complete);
+        # the per-ACK hook does nothing, exactly like Vegas.
+        return
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # A run of no-ops is a no-op; the window trivially stays monotone.
+        return count, None
+
+    def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
+        rtt = state.last_round_rtt or state.latest_rtt
+        if rtt is None or rtt <= 0:
+            return
+        self._round += 1
+        self._observe(state, rtt)
+        if self.phase == STARTUP:
+            self._startup_round(state)
+        elif self.phase == DRAIN:
+            self._enter_probe_bw(state)
+        elif self.phase == PROBE_RTT:
+            self._probe_rtt_round(state)
+        else:
+            self._probe_bw_round(state)
+
+    # -- model filters -----------------------------------------------------
+    def _observe(self, state: CongestionState, rtt: float) -> None:
+        """Feed one round into the bandwidth and min-RTT filters.
+
+        The delivery rate of a clean round is the whole window acknowledged
+        over one RTT; deriving it from ``cwnd`` (identical on every engine
+        tier by the substrate's central invariant) rather than per-ACK
+        accounting keeps the model bit-identical across tiers.
+        """
+        self._bw_samples.append((self._round, state.cwnd / rtt))
+        cutoff = self._round - self.BW_FILTER_ROUNDS
+        self._bw_samples = [(r, bw) for r, bw in self._bw_samples if r > cutoff]
+        if rtt <= self._min_rtt:
+            self._min_rtt = rtt
+            self._min_rtt_round = self._round
+        max_bw = self._max_bw()
+        if max_bw >= self.STARTUP_GROWTH_FACTOR * self._full_bw:
+            self._full_bw = max_bw
+            self._full_bw_rounds = 0
+        else:
+            self._full_bw_rounds += 1
+
+    def _max_bw(self) -> float:
+        return max((bw for _, bw in self._bw_samples), default=0.0)
+
+    def _bdp(self, state: CongestionState) -> float:
+        """Estimated bandwidth-delay product in packets."""
+        max_bw = self._max_bw()
+        if max_bw <= 0.0 or not math.isfinite(self._min_rtt):
+            return state.cwnd
+        return max_bw * self._min_rtt
+
+    def _pipe_full(self) -> bool:
+        return (self._full_bw > 0.0
+                and self._full_bw_rounds >= self.STARTUP_PLATEAU_ROUNDS)
+
+    # -- phase behaviour ---------------------------------------------------
+    def _startup_round(self, state: CongestionState) -> None:
+        # Stay in startup while the sender's slow start keeps doubling and
+        # the bandwidth filter keeps growing; either signal ends it.
+        if state.in_slow_start() and not self._pipe_full():
+            return
+        self.phase = DRAIN
+        self._set_window(state, self._bdp(state))
+
+    def _probe_rtt_round(self, state: CongestionState) -> None:
+        if self._round >= self._probe_rtt_until:
+            # The floor round finished: the round's RTT sample refreshed the
+            # propagation estimate, so re-arm the expiry clock.
+            self._min_rtt_round = self._round
+            self._enter_probe_bw(state)
+            return
+        self._set_window(state, self.PROBE_RTT_CWND)
+
+    def _probe_bw_round(self, state: CongestionState) -> None:
+        if self._round - self._min_rtt_round > self.MIN_RTT_EXPIRY_ROUNDS:
+            self.phase = PROBE_RTT
+            self._probe_rtt_until = self._round + self.PROBE_RTT_ROUNDS
+            self._set_window(state, self.PROBE_RTT_CWND)
+            return
+        self._cycle_index = (self._cycle_index + 1) % len(self.PACING_GAIN_CYCLE)
+        gain = self.PACING_GAIN_CYCLE[self._cycle_index]
+        self._set_window(state, gain * self._bdp(state))
+
+    def _enter_probe_bw(self, state: CongestionState) -> None:
+        self.phase = PROBE_BW
+        self._cycle_index = 0
+        self._set_window(state, self.PACING_GAIN_CYCLE[0] * self._bdp(state))
+
+    def _set_window(self, state: CongestionState, target: float) -> None:
+        state.cwnd = max(self.PROBE_RTT_CWND, target)
+        # Pin ssthresh at (or below) the window so the sender keeps routing
+        # ACKs through the no-op avoidance hooks: the model owns the window.
+        state.ssthresh = min(state.ssthresh, state.cwnd)
+
+    # -- congestion events -------------------------------------------------
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        # BBRv1 does not react to packet loss (beta = 1.0): the paper's
+        # multiplicative-decrease feature reads ~1.0 for a BBR server.
+        return state.cwnd
+
+    def on_timeout(self, state: CongestionState, now: float) -> None:
+        # RFC-style collapse to one packet (the sender must go back to
+        # square one to retransmit), but ssthresh stays at the pre-timeout
+        # window, so the post-timeout slow start climbs straight back.
+        super().on_timeout(state, now)
+        # Re-enter startup; the bandwidth filter keeps its (windowed) history
+        # so DRAIN/PROBE-BW re-engage near the pre-timeout operating point.
+        self.phase = STARTUP
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0

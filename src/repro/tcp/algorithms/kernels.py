@@ -40,6 +40,7 @@ import numpy as np
 from repro.tcp.algorithms.bic import Bic
 from repro.tcp.algorithms.ctcp import CtcpA, CtcpB
 from repro.tcp.algorithms.cubic import CubicA, CubicB
+from repro.tcp.algorithms.dctcp import Dctcp
 from repro.tcp.algorithms.hstcp import HighSpeedTcp
 from repro.tcp.algorithms.htcp import HTcp
 from repro.tcp.algorithms.illinois import Illinois
@@ -161,6 +162,12 @@ COLUMNAR_KERNELS: dict[type[CongestionAvoidance], object] = {
     Reno: _prepare_recip,
     CtcpA: _prepare_recip,
     CtcpB: _prepare_recip,
+    # DCTCP grows exactly like RENO between ECN marks, and probes whose
+    # condition can mark at all are ejected to the scalar engine before any
+    # lane is built, so the reciprocal kernel is exact for every lane that
+    # reaches it. BBR and LearnedCc are deliberately absent: their windows
+    # are model/policy-driven, so their sessions always run scalar.
+    Dctcp: _prepare_recip,
     Illinois: _prepare_illinois,
     HTcp: _prepare_htcp,
     Veno: _prepare_veno,
@@ -193,6 +200,7 @@ KERNEL_FAMILIES: dict[type[CongestionAvoidance], str] = {
     Reno: KERNEL_RECIP,
     CtcpA: KERNEL_RECIP,
     CtcpB: KERNEL_RECIP,
+    Dctcp: KERNEL_RECIP,
     Illinois: KERNEL_RECIP,
     HTcp: KERNEL_RECIP,
     ScalableTcp: KERNEL_STCP,

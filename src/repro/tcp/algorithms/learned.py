@@ -1,0 +1,189 @@
+"""Pluggable learned congestion control (the ``cc=``-dispatch pattern of the
+net-rl simulators, e.g. Aurora, applied to the CAAI substrate).
+
+A learned policy sees a small observation vector once per RTT round and
+returns an action that rescales and/or shifts the congestion window::
+
+    observation -> LearnedPolicy.act -> LearnedAction(cwnd_scale, cwnd_delta)
+
+The substrate stays deterministic and bit-reproducible: the policy is called
+at round boundaries only (the per-ACK hooks are no-ops, like VEGAS), the
+reference :class:`TableDrivenPolicy` is a pure function of the observation,
+and malformed actions raise :class:`LearnedPolicyError` loudly instead of
+silently corrupting the window.
+
+Custom policies plug in two ways:
+
+* wrap a policy in :class:`LearnedCc` directly (``LearnedCc(policy=...)``),
+  e.g. for experiments that evaluate a trained controller; or
+* subclass :class:`LearnedCc` with a new ``name`` and register the class via
+  :func:`repro.tcp.registry.register_algorithm`, which makes the family
+  available to training sets, populations and the census by name.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
+
+#: Bounds on one round's window rescale; outside means a buggy policy.
+MIN_CWND_SCALE = 0.1
+MAX_CWND_SCALE = 10.0
+#: Bound on one round's additive window shift (packets).
+MAX_CWND_DELTA = 64.0
+
+
+class LearnedPolicyError(ValueError):
+    """A learned policy returned an unusable action (hook misuse)."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a learned policy sees at the end of one RTT round.
+
+    All quantities are in packets and seconds, straight from the sender's
+    :class:`~repro.tcp.base.CongestionState`; ``queueing_delay`` is the RTT
+    inflation over the connection minimum.
+    """
+
+    cwnd: float
+    ssthresh: float
+    round_rtt: float
+    min_rtt: float
+    queueing_delay: float
+    avoidance_rounds: int
+    in_slow_start: bool
+
+    def as_tuple(self) -> tuple[float, ...]:
+        """The observation as a flat numeric vector (for array policies)."""
+        return (self.cwnd, self.ssthresh, self.round_rtt, self.min_rtt,
+                self.queueing_delay, float(self.avoidance_rounds),
+                1.0 if self.in_slow_start else 0.0)
+
+
+@dataclass(frozen=True)
+class LearnedAction:
+    """One round's window adjustment: ``cwnd <- cwnd * scale + delta``."""
+
+    cwnd_scale: float = 1.0
+    cwnd_delta: float = 0.0
+
+
+@runtime_checkable
+class LearnedPolicy(Protocol):
+    """Observation vector in, window action out -- once per RTT round."""
+
+    def act(self, observation: Observation) -> LearnedAction:
+        """Map one round's observation to the next window adjustment."""
+        ...  # pragma: no cover - protocol definition
+
+
+class TableDrivenPolicy:
+    """Deterministic reference policy: a delay-bucket lookup table.
+
+    Buckets the round's queueing delay (as a fraction of the minimum RTT)
+    and applies a fixed action per bucket -- AIAD with a multiplicative
+    backoff under heavy queueing. Purely functional, so the same trace in
+    produces the same trace out on every engine tier and backend.
+    """
+
+    #: ``(upper bound on queueing_delay / min_rtt, action)`` rows; the first
+    #: row whose bound exceeds the observed ratio applies.
+    TABLE: tuple[tuple[float, LearnedAction], ...] = (
+        (0.05, LearnedAction(cwnd_delta=2.0)),
+        (0.15, LearnedAction(cwnd_delta=1.0)),
+        (0.30, LearnedAction()),
+        (math.inf, LearnedAction(cwnd_scale=0.85)),
+    )
+
+    def act(self, observation: Observation) -> LearnedAction:
+        if observation.min_rtt > 0 and math.isfinite(observation.min_rtt):
+            ratio = observation.queueing_delay / observation.min_rtt
+        else:
+            ratio = 0.0
+        for bound, action in self.TABLE:
+            if ratio < bound:
+                return action
+        return LearnedAction()  # pragma: no cover - inf bound always matches
+
+
+class LearnedCc(CongestionAvoidance):
+    """Congestion avoidance driven by a pluggable learned policy."""
+
+    name = "learned"
+    label = "LEARNED-CC"
+    delay_based = True
+    batch_decoupled = True
+
+    #: Multiplicative decrease on loss/timeout (policies control the window
+    #: between congestion events; the event response stays RENO's halving so
+    #: recovery is well-defined whatever the policy does).
+    loss_beta = 0.5
+
+    def __init__(self, policy: LearnedPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else TableDrivenPolicy()
+        if not callable(getattr(self.policy, "act", None)):
+            raise LearnedPolicyError(
+                f"learned policy {self.policy!r} has no callable act() "
+                f"method; implement the LearnedPolicy protocol")
+
+    # -- window growth -----------------------------------------------------
+    def on_ack_avoidance(self, state: CongestionState, ctx: AckContext) -> None:
+        # The policy acts once per RTT round (in on_round_complete); the
+        # per-ACK hook does nothing, exactly like VEGAS.
+        return
+
+    def on_ack_avoidance_batch(self, state: CongestionState, ctx: AckContext,
+                               count: int) -> tuple[int, None]:
+        # A run of no-ops is a no-op; the window trivially stays monotone.
+        return count, None
+
+    def on_round_complete(self, state: CongestionState, ctx: AckContext) -> None:
+        rtt = state.last_round_rtt or state.latest_rtt
+        if rtt is None or rtt <= 0:
+            return
+        if state.in_slow_start():
+            # Standard slow start finds the boundary RTT; the policy takes
+            # over once congestion avoidance begins.
+            return
+        observation = Observation(
+            cwnd=state.cwnd,
+            ssthresh=state.ssthresh,
+            round_rtt=rtt,
+            min_rtt=state.min_rtt,
+            queueing_delay=state.queueing_delay(),
+            avoidance_rounds=state.avoidance_rounds,
+            in_slow_start=False,
+        )
+        action = self.policy.act(observation)
+        self._apply(state, action)
+
+    def _apply(self, state: CongestionState, action: LearnedAction) -> None:
+        if not isinstance(action, LearnedAction):
+            raise LearnedPolicyError(
+                f"policy {type(self.policy).__name__} returned "
+                f"{action!r}; expected a LearnedAction")
+        scale, delta = action.cwnd_scale, action.cwnd_delta
+        if not (math.isfinite(scale) and math.isfinite(delta)):
+            raise LearnedPolicyError(
+                f"policy {type(self.policy).__name__} returned a non-finite "
+                f"action (scale={scale}, delta={delta})")
+        if not MIN_CWND_SCALE <= scale <= MAX_CWND_SCALE:
+            raise LearnedPolicyError(
+                f"policy {type(self.policy).__name__} returned cwnd_scale="
+                f"{scale}, outside [{MIN_CWND_SCALE}, {MAX_CWND_SCALE}]")
+        if abs(delta) > MAX_CWND_DELTA:
+            raise LearnedPolicyError(
+                f"policy {type(self.policy).__name__} returned cwnd_delta="
+                f"{delta}, outside [-{MAX_CWND_DELTA}, {MAX_CWND_DELTA}]")
+        state.cwnd = max(2.0, state.cwnd * scale + delta)
+        # A shrinking action must not bounce the sender back into slow
+        # start: the policy owns the window during congestion avoidance.
+        state.ssthresh = min(state.ssthresh, state.cwnd)
+
+    # -- multiplicative decrease -------------------------------------------
+    def ssthresh_after_loss(self, state: CongestionState) -> float:
+        return state.cwnd * self.loss_beta

@@ -368,6 +368,28 @@ class TcpSender:
             return self._on_duplicate_ack(now)
         return self._on_new_ack(ack_packets, now)
 
+    def ecn_feedback(self, marked: int, acked: int, now: float) -> None:
+        """Report receiver-echoed ECN congestion marks to the algorithm.
+
+        Called by a receiver (the trace gatherer's block path, or the
+        packet-level prober) when ``marked`` of ``acked`` recently delivered
+        data packets carried the congestion-experienced codepoint. Forwarded
+        straight to the algorithm's ``on_ecn_feedback`` hook -- never through
+        the per-ACK engines, so the batched, segment-block and scalar tiers
+        all see the identical call sequence. Callers only invoke this when a
+        link actually marked (the default-off knob), so ECN-free runs are
+        byte-identical with or without the plumbing.
+
+        Args:
+            marked: Number of packets delivered with a CE mark.
+            acked: Total packets the feedback covers (``marked <= acked``).
+            now: Current simulation time.
+        """
+        if marked < 0 or acked < marked:
+            raise ValueError(f"ECN feedback needs 0 <= marked <= acked, "
+                             f"got marked={marked}, acked={acked}")
+        self.algorithm.on_ecn_feedback(self.state, marked, acked)
+
     def on_ack_packet(self, ack_packets: int, now: float, *,
                       is_duplicate: bool = False) -> list:
         """Process a cumulative ACK expressed in packet units (native API).

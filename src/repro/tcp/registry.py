@@ -3,6 +3,16 @@
 The registry maps stable string names (used in configuration files, training
 sets and census results) to algorithm classes, and records which operating
 system families ship each algorithm -- the content of Table I of the paper.
+
+Beyond the paper's 2011 catalogue the registry also carries the *modern*
+families (:data:`MODERN_ALGORITHMS`: BBRv1, DCTCP, and the pluggable
+learned-CC hook), which the ``modern_families`` experiment uses to ask
+whether CAAI's fingerprinting survives the post-2011 Internet. They are
+deliberately kept out of :data:`IDENTIFIABLE_ALGORITHMS` and the Table I
+catalogue so every artifact of the paper reproduction stays byte-identical.
+New families -- e.g. a custom :class:`~repro.tcp.algorithms.LearnedCc`
+subclass wrapping a trained policy -- plug in via
+:func:`register_algorithm`.
 """
 
 from __future__ import annotations
@@ -10,15 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tcp.algorithms import (
+    Bbr,
     Bic,
     CtcpA,
     CtcpB,
     CubicA,
     CubicB,
+    Dctcp,
     HighSpeedTcp,
     HTcp,
     Hybla,
     Illinois,
+    LearnedCc,
     LowPriorityTcp,
     Reno,
     ScalableTcp,
@@ -34,13 +47,31 @@ _ALGORITHM_CLASSES: dict[str, type[CongestionAvoidance]] = {
     for cls in (
         Reno, Bic, CubicA, CubicB, CtcpA, CtcpB, HighSpeedTcp, HTcp,
         Illinois, ScalableTcp, Vegas, Veno, WestwoodPlus, Yeah, Hybla,
-        LowPriorityTcp,
+        LowPriorityTcp, Bbr, Dctcp, LearnedCc,
     )
 }
 
-#: Names of every implemented algorithm (the Table I catalogue plus the two
-#: CUBIC/CTCP version splits the paper introduces).
-ALL_ALGORITHM_NAMES: tuple[str, ...] = tuple(sorted(_ALGORITHM_CLASSES))
+#: Names of the algorithms the paper's Table I catalogues (the 2011
+#: families plus the two CUBIC/CTCP version splits the paper introduces).
+CLASSIC_ALGORITHM_NAMES: tuple[str, ...] = (
+    "bic", "ctcp-a", "ctcp-b", "cubic-a", "cubic-b", "hstcp", "htcp",
+    "hybla", "illinois", "lp", "reno", "stcp", "vegas", "veno", "westwood",
+    "yeah",
+)
+
+#: The post-2011 families grown on top of the paper's catalogue.
+MODERN_ALGORITHMS: tuple[str, ...] = ("bbr", "dctcp", "learned")
+
+
+def _sorted_names() -> tuple[str, ...]:
+    return tuple(sorted(_ALGORITHM_CLASSES))
+
+
+#: Names of every implemented algorithm, classic and modern. A snapshot:
+#: :func:`register_algorithm` rebinds this module attribute, so dynamic
+#: consumers should read ``registry.ALL_ALGORITHM_NAMES`` (or call
+#: :func:`create_algorithm`) rather than import the tuple by value.
+ALL_ALGORITHM_NAMES: tuple[str, ...] = _sorted_names()
 
 #: The 14 algorithms CAAI identifies (Section III-A), in the paper's order.
 IDENTIFIABLE_ALGORITHMS: tuple[str, ...] = (
@@ -66,19 +97,90 @@ IDENTIFIABLE_ALGORITHMS: tuple[str, ...] = (
 EXCLUDED_FROM_IDENTIFICATION: tuple[str, ...] = ("hybla", "lp")
 
 
-def create_algorithm(name: str) -> CongestionAvoidance:
-    """Instantiate a congestion avoidance algorithm by registry name."""
+def register_algorithm(cls: type[CongestionAvoidance], *,
+                       replace: bool = False) -> type[CongestionAvoidance]:
+    """Register a congestion avoidance class under its ``name``.
+
+    The entry point for plugging new families into the substrate (the
+    ``cc=``-dispatch pattern): once registered, the name works everywhere a
+    built-in one does -- :func:`create_algorithm`, training-set builders,
+    synthetic servers and populations.
+
+    Args:
+        cls: A concrete :class:`CongestionAvoidance` subclass with a
+            non-default ``name`` and ``label``; ``cls()`` must construct it.
+        replace: Allow overwriting an existing registration (off by default
+            so two plugins cannot silently fight over a name).
+
+    Returns:
+        ``cls``, so the function doubles as a class decorator.
+
+    Raises:
+        TypeError: If ``cls`` is not a concrete CongestionAvoidance subclass.
+        ValueError: If the name is missing/default, or already registered
+            and ``replace`` is false.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, CongestionAvoidance)):
+        raise TypeError(f"register_algorithm needs a CongestionAvoidance "
+                        f"subclass, got {cls!r}")
+    name = getattr(cls, "name", None)
+    if not name or name == CongestionAvoidance.name:
+        raise ValueError(f"{cls.__name__} must define a non-default "
+                         f"registry name (got {name!r})")
+    if not replace and name in _ALGORITHM_CLASSES:
+        registered = _ALGORITHM_CLASSES[name]
+        raise ValueError(
+            f"algorithm name {name!r} is already registered to "
+            f"{registered.__name__}; pass replace=True to override")
+    _ALGORITHM_CLASSES[name] = cls
+    global ALL_ALGORITHM_NAMES
+    ALL_ALGORITHM_NAMES = _sorted_names()
+    return cls
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a dynamically registered algorithm (test/plugin teardown).
+
+    Args:
+        name: The registry name to remove.
+
+    Raises:
+        ValueError: If the name is unknown (message lists valid names) or
+            names one of the built-in families, which must stay registered.
+    """
+    cls = _lookup(name)
+    if cls in _BUILTIN_CLASSES:
+        raise ValueError(f"cannot unregister built-in algorithm {name!r}")
+    del _ALGORITHM_CLASSES[name]
+    global ALL_ALGORITHM_NAMES
+    ALL_ALGORITHM_NAMES = _sorted_names()
+
+
+_BUILTIN_CLASSES = frozenset(_ALGORITHM_CLASSES.values())
+
+
+def _lookup(name: str) -> type[CongestionAvoidance]:
+    """Resolve a registry name, raising a loud ValueError when unknown."""
     try:
-        cls = _ALGORITHM_CLASSES[name]
+        return _ALGORITHM_CLASSES[name]
     except KeyError:
         known = ", ".join(sorted(_ALGORITHM_CLASSES))
         raise ValueError(f"unknown TCP algorithm {name!r}; known: {known}") from None
-    return cls()
+
+
+def create_algorithm(name: str) -> CongestionAvoidance:
+    """Instantiate a congestion avoidance algorithm by registry name."""
+    return _lookup(name)()
+
+
+def algorithm_class(name: str) -> type[CongestionAvoidance]:
+    """The registered class for a registry name (loud ValueError if unknown)."""
+    return _lookup(name)
 
 
 def algorithm_label(name: str) -> str:
     """Human readable label for a registry name."""
-    return _ALGORITHM_CLASSES[name].label
+    return _lookup(name).label
 
 
 @dataclass(frozen=True)
@@ -97,6 +199,8 @@ def algorithm_catalog() -> list[CatalogEntry]:
 
     Windows ships RENO and CTCP (CTCP being the default on server editions);
     Linux ships everything else, with BIC then CUBIC as successive defaults.
+    Only the paper's 2011 catalogue appears here; the modern families live
+    in :data:`MODERN_ALGORITHMS` and their own experiment.
     """
     defaults = {
         "reno": ("Windows XP (client)", "older Linux kernels"),
@@ -109,7 +213,7 @@ def algorithm_catalog() -> list[CatalogEntry]:
     windows_only = {"ctcp-a", "ctcp-b"}
     both = {"reno"}
     entries = []
-    for name in ALL_ALGORITHM_NAMES:
+    for name in CLASSIC_ALGORITHM_NAMES:
         cls = _ALGORITHM_CLASSES[name]
         entries.append(CatalogEntry(
             name=name,

@@ -27,6 +27,7 @@ from repro.envknobs import EnvKnobError
 from repro.net.conditions import NetworkCondition
 from repro.tcp.base import AckContext, CongestionAvoidance, CongestionState
 from repro.tcp.connection import SenderConfig, TcpSender
+from repro.tcp.algorithms.dctcp import Dctcp
 from repro.tcp.algorithms.reno import Reno
 from repro.tcp.registry import ALL_ALGORITHM_NAMES
 from repro.web.content import WebPage, WebSite
@@ -271,6 +272,55 @@ def test_training_examples_identical_with_columnar_disabled(monkeypatch):
                           tuple(e.vector.as_array()))
                          for e in examples]
     assert vectors["1"] == vectors["0"]
+
+
+# ------------------------------------------------ modern families and ECN
+def test_dctcp_runs_on_vector_kernel():
+    """DCTCP without ECN marks is admissible: it grows exactly like RENO
+    between marks, so the recip kernel drives it columnar bit-identically."""
+    sender = TcpSender(Dctcp(), SenderConfig(mss=100))
+    assert sender_admissible(sender)
+    scalar, columnar, engine = probe_pair("dctcp", w_timeout=64)
+    assert_probes_identical(scalar, columnar)
+    assert engine.stats.columnar_traces > 0
+    assert engine.stats.admission_rejects == 0
+
+
+@pytest.mark.parametrize("algorithm", ["bbr", "learned"])
+def test_modern_families_without_kernels_run_scalar(algorithm):
+    """BBR and the learned hook have no vector kernel: admission rejects
+    them up front and the whole trace runs scalar, streams identical."""
+    from repro.tcp.registry import create_algorithm
+
+    assert not sender_admissible(TcpSender(create_algorithm(algorithm),
+                                           SenderConfig(mss=100)))
+    scalar, columnar, engine = probe_pair(algorithm, w_timeout=64)
+    assert_probes_identical(scalar, columnar)
+    assert engine.stats.columnar_traces == 0
+    assert engine.stats.admission_rejects > 0
+
+
+@pytest.mark.parametrize("algorithm", ["dctcp", "reno"])
+def test_ecn_condition_ejects_whole_probe_to_scalar(algorithm):
+    """Any condition that can mark at all skips the lanes entirely: the
+    kernels know nothing about mark draws, so the probe runs on the scalar
+    engine and still matches it bit for bit (rng stream included)."""
+    condition = NetworkCondition(average_rtt=0.1, rtt_std=0.0, loss_rate=0.0,
+                                 ecn_mark_rate=0.2)
+    scalar, columnar, engine = probe_pair(algorithm, w_timeout=64,
+                                          condition=condition)
+    assert_probes_identical(scalar, columnar)
+    assert engine.stats.columnar_traces == 0
+    assert engine.stats.scalar_probes > 0
+
+
+def test_dctcp_parity_under_loss_with_rng_equality():
+    """Lossy DCTCP ladders fragment into real rounds; trajectory and rng
+    stream still match the scalar engine exactly."""
+    condition = NetworkCondition(average_rtt=0.3, rtt_std=0.05, loss_rate=0.04)
+    scalar, columnar, _ = probe_pair("dctcp", w_timeout=64,
+                                     condition=condition, seed=23)
+    assert_probes_identical(scalar, columnar)
 
 
 class TestCohortKnobs:

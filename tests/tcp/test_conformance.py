@@ -1,0 +1,12 @@
+"""Collection shim for the per-family conformance suite.
+
+The suite lives in ``tests/tcp/conformance_harness.py`` (named so CI and
+developers can invoke the harness directly, including its ``--regenerate``
+mode); pytest only auto-collects ``test_*`` modules, so this file re-exports
+the test classes for the tier-1 run.
+"""
+
+from tests.tcp.conformance_harness import (  # noqa: F401
+    TestConformanceTable,
+    TestPerFamilyConformance,
+)

@@ -1,0 +1,180 @@
+"""Unit tests for the pluggable learned-CC hook."""
+
+import math
+
+import pytest
+
+from repro.tcp.algorithms.learned import (
+    MAX_CWND_DELTA,
+    LearnedAction,
+    LearnedCc,
+    LearnedPolicy,
+    LearnedPolicyError,
+    Observation,
+    TableDrivenPolicy,
+)
+from repro.tcp.base import AckContext
+from tests.tcp.algo_harness import make_state, measured_beta, run_avoidance
+
+
+def policy_round(algorithm, state, now=1.0, rtt=1.0):
+    state.latest_rtt = rtt
+    state.min_rtt = min(state.min_rtt, rtt)
+    state.last_round_rtt = rtt
+    algorithm.on_round_complete(
+        state, AckContext(now=now, rtt_sample=rtt, newly_acked_packets=0,
+                          round_completed=True))
+
+
+class _ConstantPolicy:
+    def __init__(self, action):
+        self.action = action
+        self.observations = []
+
+    def act(self, observation):
+        self.observations.append(observation)
+        return self.action
+
+
+class TestTableDrivenPolicy:
+    def test_implements_the_protocol(self):
+        assert isinstance(TableDrivenPolicy(), LearnedPolicy)
+
+    def test_low_delay_grows_aggressively(self):
+        observation = Observation(cwnd=100.0, ssthresh=50.0, round_rtt=1.0,
+                                  min_rtt=1.0, queueing_delay=0.0,
+                                  avoidance_rounds=1, in_slow_start=False)
+        action = TableDrivenPolicy().act(observation)
+        assert action.cwnd_delta == pytest.approx(2.0)
+        assert action.cwnd_scale == pytest.approx(1.0)
+
+    def test_heavy_queueing_backs_off(self):
+        observation = Observation(cwnd=100.0, ssthresh=50.0, round_rtt=1.5,
+                                  min_rtt=1.0, queueing_delay=0.5,
+                                  avoidance_rounds=1, in_slow_start=False)
+        action = TableDrivenPolicy().act(observation)
+        assert action.cwnd_scale == pytest.approx(0.85)
+        assert action.cwnd_delta == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        observation = Observation(cwnd=100.0, ssthresh=50.0, round_rtt=1.1,
+                                  min_rtt=1.0,
+                                  queueing_delay=0.10000000000000009,
+                                  avoidance_rounds=3, in_slow_start=False)
+        policy = TableDrivenPolicy()
+        assert policy.act(observation) == policy.act(observation)
+
+    def test_observation_vector_shape(self):
+        observation = Observation(cwnd=10.0, ssthresh=5.0, round_rtt=1.0,
+                                  min_rtt=0.9, queueing_delay=0.1,
+                                  avoidance_rounds=2, in_slow_start=True)
+        vector = observation.as_tuple()
+        assert len(vector) == 7
+        assert vector[-1] == 1.0
+
+
+class TestLearnedCc:
+    def test_default_policy_is_table_driven(self):
+        assert isinstance(LearnedCc().policy, TableDrivenPolicy)
+
+    def test_deterministic_trajectory(self):
+        runs = []
+        for _ in range(2):
+            state = make_state(cwnd=50.0, ssthresh=25.0)
+            runs.append(run_avoidance(LearnedCc(), state, rounds=30, rtt=1.0))
+        assert runs[0] == runs[1]
+
+    def test_flat_rtt_grows_additively(self):
+        state = make_state(cwnd=50.0, ssthresh=25.0)
+        trajectory = run_avoidance(LearnedCc(), state, rounds=5, rtt=1.0)
+        # Zero queueing delay -> +2 packets per round.
+        assert trajectory == pytest.approx([52.0, 54.0, 56.0, 58.0, 60.0])
+
+    def test_inflated_rtt_backs_off(self):
+        algorithm = LearnedCc()
+        state = make_state(cwnd=100.0, ssthresh=50.0, rtt=1.0)
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state, rtt=1.5)
+        assert state.cwnd == pytest.approx(85.0)
+        assert state.ssthresh == pytest.approx(50.0)
+
+    def test_slow_start_rounds_skip_the_policy(self):
+        policy = _ConstantPolicy(LearnedAction(cwnd_delta=2.0))
+        algorithm = LearnedCc(policy=policy)
+        state = make_state(cwnd=10.0, ssthresh=1000.0)  # in slow start
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state)
+        assert policy.observations == []
+        assert state.cwnd == pytest.approx(10.0)
+
+    def test_policy_sees_the_round_observation(self):
+        policy = _ConstantPolicy(LearnedAction())
+        algorithm = LearnedCc(policy=policy)
+        state = make_state(cwnd=80.0, ssthresh=40.0, rtt=1.0)
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state, rtt=1.2)
+        (observation,) = policy.observations
+        assert observation.cwnd == pytest.approx(80.0)
+        assert observation.round_rtt == pytest.approx(1.2)
+        assert observation.queueing_delay == pytest.approx(0.2)
+        assert not observation.in_slow_start
+
+    def test_shrinking_action_keeps_sender_in_avoidance(self):
+        algorithm = LearnedCc(policy=_ConstantPolicy(
+            LearnedAction(cwnd_scale=0.5)))
+        state = make_state(cwnd=100.0, ssthresh=50.0)
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state)
+        assert state.cwnd == pytest.approx(50.0)
+        assert not state.in_slow_start()
+
+    def test_window_floor_is_two_packets(self):
+        algorithm = LearnedCc(policy=_ConstantPolicy(
+            LearnedAction(cwnd_scale=0.1)))
+        state = make_state(cwnd=5.0, ssthresh=4.0)
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state)
+        assert state.cwnd == pytest.approx(2.0)
+
+    def test_loss_response_is_halving(self):
+        assert measured_beta(LearnedCc(), 100.0) == pytest.approx(0.5)
+
+
+class TestHookMisuse:
+    def test_policy_without_act_is_rejected_at_construction(self):
+        with pytest.raises(LearnedPolicyError, match="act"):
+            LearnedCc(policy=object())
+
+    def run_with(self, action):
+        algorithm = LearnedCc(policy=_ConstantPolicy(action))
+        state = make_state(cwnd=100.0, ssthresh=50.0)
+        algorithm.on_connection_start(state)
+        policy_round(algorithm, state)
+
+    def test_non_action_return_is_loud(self):
+        with pytest.raises(LearnedPolicyError, match="LearnedAction"):
+            self.run_with((1.0, 2.0))
+
+    def test_non_finite_action_is_loud(self):
+        with pytest.raises(LearnedPolicyError, match="non-finite"):
+            self.run_with(LearnedAction(cwnd_scale=math.nan))
+        with pytest.raises(LearnedPolicyError, match="non-finite"):
+            self.run_with(LearnedAction(cwnd_delta=math.inf))
+
+    def test_out_of_range_scale_is_loud(self):
+        with pytest.raises(LearnedPolicyError, match="cwnd_scale"):
+            self.run_with(LearnedAction(cwnd_scale=50.0))
+        with pytest.raises(LearnedPolicyError, match="cwnd_scale"):
+            self.run_with(LearnedAction(cwnd_scale=0.01))
+
+    def test_oversized_delta_is_loud(self):
+        with pytest.raises(LearnedPolicyError, match="cwnd_delta"):
+            self.run_with(LearnedAction(cwnd_delta=MAX_CWND_DELTA + 1.0))
+
+    def test_error_names_the_policy_class(self):
+        with pytest.raises(LearnedPolicyError, match="_ConstantPolicy"):
+            self.run_with(LearnedAction(cwnd_scale=99.0))
+
+    def test_policy_error_is_a_value_error(self):
+        # Callers that guard registry/config errors catch these too.
+        assert issubclass(LearnedPolicyError, ValueError)

@@ -5,11 +5,16 @@ import pytest
 from repro.tcp.base import CongestionAvoidance
 from repro.tcp.registry import (
     ALL_ALGORITHM_NAMES,
+    CLASSIC_ALGORITHM_NAMES,
     EXCLUDED_FROM_IDENTIFICATION,
     IDENTIFIABLE_ALGORITHMS,
+    MODERN_ALGORITHMS,
     algorithm_catalog,
+    algorithm_class,
     algorithm_label,
     create_algorithm,
+    register_algorithm,
+    unregister_algorithm,
 )
 
 
@@ -20,6 +25,17 @@ class TestRegistry:
 
     def test_identifiable_and_excluded_are_disjoint(self):
         assert not set(IDENTIFIABLE_ALGORITHMS) & set(EXCLUDED_FROM_IDENTIFICATION)
+
+    def test_modern_families_registered(self):
+        assert MODERN_ALGORITHMS == ("bbr", "dctcp", "learned")
+        assert set(MODERN_ALGORITHMS) <= set(ALL_ALGORITHM_NAMES)
+        # Modern families extend the paper's set; they never leak into it.
+        assert not set(MODERN_ALGORITHMS) & set(IDENTIFIABLE_ALGORITHMS)
+        assert not set(MODERN_ALGORITHMS) & set(CLASSIC_ALGORITHM_NAMES)
+
+    def test_classic_plus_modern_covers_all(self):
+        assert set(CLASSIC_ALGORITHM_NAMES) | set(MODERN_ALGORITHMS) == set(
+            ALL_ALGORITHM_NAMES)
 
     def test_all_names_creatable(self):
         for name in ALL_ALGORITHM_NAMES:
@@ -36,6 +52,21 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown TCP algorithm"):
             create_algorithm("quic")
 
+    def test_unknown_name_error_lists_valid_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            create_algorithm("bbr2")
+        message = str(excinfo.value)
+        for name in ALL_ALGORITHM_NAMES:
+            assert name in message
+
+    def test_algorithm_label_unknown_name_is_loud(self):
+        with pytest.raises(ValueError, match="unknown TCP algorithm"):
+            algorithm_label("not-a-tcp")
+
+    def test_algorithm_class_unknown_name_is_loud(self):
+        with pytest.raises(ValueError, match="unknown TCP algorithm"):
+            algorithm_class("not-a-tcp")
+
     def test_labels_exist_for_all(self):
         for name in ALL_ALGORITHM_NAMES:
             assert algorithm_label(name)
@@ -44,10 +75,87 @@ class TestRegistry:
         assert set(EXCLUDED_FROM_IDENTIFICATION) == {"hybla", "lp"}
 
 
+def _toy_class(cls_name, registry_name, display):
+    """A minimal concrete CongestionAvoidance subclass for registry tests."""
+
+    class Toy(CongestionAvoidance):
+        name = registry_name
+        label = display
+
+        def on_ack_avoidance(self, state, now):
+            state.cwnd += 1.0 / max(state.cwnd, 1.0)
+
+        def ssthresh_after_loss(self, state):
+            return state.cwnd / 2.0
+
+    Toy.__name__ = Toy.__qualname__ = cls_name
+    return Toy
+
+
+class TestRegistration:
+    def test_register_and_unregister_round_trip(self):
+        # ALL_ALGORITHM_NAMES is a rebound snapshot: read it through the
+        # module so registration is visible (a from-import would be stale).
+        import repro.tcp.registry as registry
+
+        ToyCc = _toy_class("ToyCc", "toy-cc", "TOY")
+        try:
+            returned = register_algorithm(ToyCc)
+            assert returned is ToyCc
+            assert "toy-cc" in registry.ALL_ALGORITHM_NAMES
+            instance = create_algorithm("toy-cc")
+            assert isinstance(instance, ToyCc)
+            assert algorithm_label("toy-cc") == "TOY"
+        finally:
+            unregister_algorithm("toy-cc")
+        assert "toy-cc" not in registry.ALL_ALGORITHM_NAMES
+        with pytest.raises(ValueError, match="unknown TCP algorithm"):
+            create_algorithm("toy-cc")
+
+    def test_register_rejects_name_collision(self):
+        FakeReno = _toy_class("FakeReno", "reno", "FAKE")
+        with pytest.raises(ValueError, match="replace=True"):
+            register_algorithm(FakeReno)
+        # The built-in survives the failed registration.
+        assert algorithm_label("reno") != "FAKE"
+
+    def test_register_replace_allows_override(self):
+        from repro.tcp.algorithms import Reno
+
+        FakeReno = _toy_class("FakeReno", "reno", "FAKE")
+        try:
+            register_algorithm(FakeReno, replace=True)
+            assert algorithm_label("reno") == "FAKE"
+        finally:
+            register_algorithm(Reno, replace=True)
+        assert algorithm_label("reno") == Reno.label
+
+    def test_register_rejects_default_name(self):
+        Nameless = _toy_class("Nameless", CongestionAvoidance.name, "NAMELESS")
+        with pytest.raises(ValueError, match="name"):
+            register_algorithm(Nameless)
+
+    def test_register_rejects_non_algorithm(self):
+        with pytest.raises(TypeError):
+            register_algorithm(object)
+
+    def test_unregister_refuses_builtins(self):
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_algorithm("reno")
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_algorithm("bbr")
+
+    def test_unregister_unknown_name_is_loud(self):
+        with pytest.raises(ValueError, match="unknown TCP algorithm"):
+            unregister_algorithm("never-registered")
+
+
 class TestCatalog:
-    def test_catalog_covers_every_algorithm(self):
+    def test_catalog_covers_every_classic_algorithm(self):
+        # Table I catalogues the paper-era families; modern additions (BBR,
+        # DCTCP, learned-CC) live outside the paper's catalogue.
         catalog = algorithm_catalog()
-        assert {entry.name for entry in catalog} == set(ALL_ALGORITHM_NAMES)
+        assert {entry.name for entry in catalog} == set(CLASSIC_ALGORITHM_NAMES)
 
     def test_ctcp_is_windows_only(self):
         catalog = {entry.name: entry for entry in algorithm_catalog()}
