@@ -25,16 +25,23 @@ import json
 import sys
 
 from repro.analysis.tables import format_table
+from repro.cli.settings import (
+    POPULATION_KEYS,
+    TRAINING_KEYS,
+    add_population_arguments,
+    add_training_arguments,
+    build_population,
+    settings_from_args,
+    train_classifier,
+)
 from repro.core.census import CensusConfig, CensusRunner
 from repro.core.checkpoint import CensusCheckpoint, CheckpointError
-from repro.core.classifier import CaaiClassifier
 from repro.core.results import CensusReport
-from repro.core.training import TrainingSetBuilder
 from repro.faults import FaultPlan
-from repro.net.conditions import CONDITION_DB_PRESETS, condition_database_preset
 from repro.parallel import BACKENDS
 from repro.scenarios import SCENARIO_PACKS, scenario_pack_by_name
-from repro.web.population import PopulationConfig, ServerPopulation
+from repro.serving.schema import census_report_payload
+from repro.web.population import ServerPopulation
 
 PROG = "python -m repro.census"
 
@@ -68,19 +75,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     CensusCheckpoint.ensure_absent(args.checkpoint)
     if args.shards < 1:
         raise ValueError("--shards must be at least 1")
-    settings = {
-        "servers": args.servers,
-        "shards": args.shards,
-        "seed": args.seed,
-        "population_seed": args.population_seed,
-        "conditions": args.conditions,
-        "condition_db_size": args.condition_db_size,
-        "condition_seed": args.condition_seed,
-        "training_conditions": args.training_conditions,
-        "training_seed": args.training_seed,
-        "trees": args.trees,
-        "forest_seed": args.forest_seed,
-    }
+    settings = {"shards": args.shards, "seed": args.seed}
+    settings.update(settings_from_args(args, POPULATION_KEYS))
+    settings.update(settings_from_args(args, TRAINING_KEYS))
     # Resilience knobs are stored only when set, so a census run without
     # them writes a manifest byte-identical to earlier releases.
     if args.fault_plan is not None:
@@ -164,9 +161,6 @@ def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRu
     in the manifest); ``backend``/``workers`` are per-invocation execution
     knobs that never change the results.
     """
-    conditions = condition_database_preset(settings["conditions"],
-                                           size=settings["condition_db_size"],
-                                           seed=settings["condition_seed"])
     print(f"training classifier ({settings['trees']} trees, "
           f"{settings['training_conditions']} conditions/pair, "
           f"'{settings['conditions']}' paths) ...", flush=True)
@@ -177,13 +171,7 @@ def _build_runner(settings: dict, backend: str, workers: int | None) -> CensusRu
         if pack.wraps_servers():
             # Retrain under the same adversity the census probes under.
             server_wrapper = pack.wrap_server
-    builder = TrainingSetBuilder(
-        conditions_per_pair=settings["training_conditions"],
-        seed=settings["training_seed"], condition_database=conditions,
-        server_wrapper=server_wrapper)
-    classifier = CaaiClassifier(n_trees=settings["trees"],
-                                seed=settings["forest_seed"])
-    classifier.train(builder.build_dataset())
+    classifier = train_classifier(settings, server_wrapper=server_wrapper)
     fault_plan = None
     if settings.get("fault_plan"):
         fault_plan = FaultPlan.from_json_dict(settings["fault_plan"])
@@ -221,15 +209,7 @@ def _load_fault_plan(path: str) -> FaultPlan:
 
 def _build_population(settings: dict) -> ServerPopulation:
     """Generate the synthetic population described by ``settings``."""
-    conditions = condition_database_preset(settings["conditions"],
-                                           size=settings["condition_db_size"],
-                                           seed=settings["condition_seed"])
-    population = ServerPopulation(
-        PopulationConfig(size=settings["servers"],
-                         seed=settings["population_seed"]),
-        condition_database=conditions)
-    population.generate()
-    return population
+    return build_population(settings)
 
 
 def _finish(report: CensusReport | None, checkpoint_dir: str,
@@ -270,18 +250,14 @@ def _print_report(report: CensusReport) -> None:
 
 
 def _write_json(report: CensusReport, path: str) -> None:
-    """Dump the full report (outcomes + summaries) as JSON."""
-    payload = {
-        "servers": len(report),
-        "valid_fraction": report.valid_fraction(),
-        "category_percentages": report.category_percentages(),
-        "invalid_reason_shares": report.invalid_reason_shares(),
-        "outcomes": [outcome.to_json_dict() for outcome in report.outcomes],
-    }
-    # Only reports with retry/fault accounting carry a resilience section,
-    # so faults-off report files stay byte-identical to earlier releases.
-    if report.has_fault_accounting():
-        payload["resilience"] = report.resilience_summary()
+    """Dump the full report in the stable ``caai-census-report`` schema.
+
+    The payload shape is owned by :mod:`repro.serving.schema` and shared
+    with the serving endpoints, so ``--json`` files and served reports are
+    interchangeable (documented in ``docs/SERVING.md``; pinned by a
+    snapshot test).
+    """
+    payload = census_report_payload(report)
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True)
 
@@ -297,31 +273,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser(
         "run", help="start a fresh sharded census into a checkpoint directory")
     _add_checkpoint_argument(run)
-    run.add_argument("--servers", type=int, default=100,
-                     help="population size (default: 100)")
+    add_population_arguments(run)
     run.add_argument("--shards", type=int, default=4,
                      help="number of shards (default: 4)")
     run.add_argument("--seed", type=int, default=42,
                      help="census seed; also keys the shard assignment")
-    run.add_argument("--population-seed", type=int, default=2011,
-                     help="seed of the synthetic server population")
-    run.add_argument("--conditions", default="paper",
-                     choices=sorted(CONDITION_DB_PRESETS),
-                     help="network-condition preset for paths and training "
-                          "(default: paper)")
-    run.add_argument("--condition-db-size", type=int, default=1000,
-                     help="paths in the condition database (default: 1000)")
-    run.add_argument("--condition-seed", type=int, default=2010,
-                     help="seed of the condition database draws")
-    run.add_argument("--training-conditions", type=int, default=4,
-                     help="training conditions per (algorithm, w_timeout) "
-                          "pair (default: 4; the paper uses 100)")
-    run.add_argument("--training-seed", type=int, default=7,
-                     help="seed of the training-set builder")
-    run.add_argument("--trees", type=int, default=60,
-                     help="random-forest size (default: 60)")
-    run.add_argument("--forest-seed", type=int, default=0,
-                     help="seed of the random forest")
+    add_training_arguments(run)
     run.add_argument("--fault-plan", default=None,
                      help="JSON file with a deterministic fault plan to "
                           "inject (see docs/ROBUSTNESS.md); stored in the "

@@ -600,6 +600,32 @@ class CensusRunner:
             self._classify_pending([(outcome, probe)])
         return outcome
 
+    def measure_indices(self, records: list[ServerRecord],
+                        indices: list[int],
+                        seeds: list | None = None) -> list[ServerOutcome]:
+        """Probe and classify the records at ``indices``, in that order.
+
+        Seeds are derived from the census seed and each record's position in
+        the **full** population, so measuring any subset yields outcomes
+        bit-identical to the same servers inside a monolithic :meth:`run` —
+        this is what lets the work-stealing orchestrator
+        (:class:`repro.serving.orchestrator.CensusOrchestrator`) replay a
+        stolen shard and commit results indistinguishable from the first
+        attempt's.
+
+        Args:
+            records: The **full** population's records (positions key the
+                per-server random streams).
+            indices: Population indices to measure, in output order.
+            seeds: Optional precomputed :func:`repro.parallel.task_seeds`
+                list for the full population; callers measuring several
+                subsets pass it to avoid re-deriving it per subset.
+
+        Returns:
+            One classified :class:`ServerOutcome` per index, in order.
+        """
+        return self._measure_indices(records, indices, seeds=seeds)
+
     # ------------------------------------------------------------- internals
     @staticmethod
     def _records(population: ServerPopulation) -> list[ServerRecord]:

@@ -52,6 +52,45 @@ class CaaiClassifier:
     extractor: FeatureExtractor = field(default_factory=FeatureExtractor)
     _forest: RandomForestClassifier | None = field(default=None, init=False, repr=False)
 
+    @classmethod
+    def from_trained_forest(cls, forest: RandomForestClassifier, *,
+                            confidence_threshold: float = CONFIDENCE_THRESHOLD,
+                            extractor: FeatureExtractor | None = None
+                            ) -> "CaaiClassifier":
+        """Assemble a classifier around an already-fitted forest.
+
+        This is the artifact-loading path (:mod:`repro.serving.artifact`):
+        the forest comes back from disk via
+        :meth:`~repro.ml.random_forest.RandomForestClassifier.from_fitted_trees`
+        and the pipeline is rebuilt around it without retraining. The
+        classifier's knobs are copied from the forest so its fingerprint
+        (:func:`repro.core.checkpoint.classifier_fingerprint`) matches the
+        classifier it was saved from.
+
+        Args:
+            forest: A fitted random forest.
+            confidence_threshold: The unsure-cutoff to classify with.
+            extractor: The feature extractor (defaults to a fresh one with
+                paper parameters).
+
+        Returns:
+            A trained :class:`CaaiClassifier` that classifies every vector
+            exactly like the classifier the forest came from.
+
+        Raises:
+            ValueError: If the forest has not been fitted.
+        """
+        if not forest.trees:
+            raise ValueError("the forest has not been fitted; a serving "
+                             "classifier needs fitted trees")
+        classifier = cls(n_trees=forest.n_trees,
+                         max_features=forest.max_features,
+                         confidence_threshold=confidence_threshold,
+                         seed=forest.seed,
+                         extractor=extractor or FeatureExtractor())
+        classifier._forest = forest
+        return classifier
+
     # ------------------------------------------------------------------ train
     def train(self, training_set: LabeledDataset) -> "CaaiClassifier":
         """Fit the random forest on a labelled training set.

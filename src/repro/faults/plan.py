@@ -236,6 +236,29 @@ class FaultPlan:
         return any(self._fires(spec, scope_key, attempt)
                    for spec in self.specs if spec.kind == "worker_death")
 
+    def lease_death_fires(self, shard_index: int, generation: int) -> bool:
+        """Whether a worker dies while holding a lease on ``shard_index``.
+
+        Serving-layer convenience over :meth:`worker_death_fires`, keying
+        the fault to the lease (scope ``"lease:<shard>"``, attempt =
+        lease generation). Because a steal bumps the generation, a spec
+        with ``persist_attempts=1`` kills the first holder and spares the
+        thief — the work-stealing orchestrator's crash-replay test matrix
+        is built on exactly this. The scope prefix keeps lease deaths
+        disjoint from probe-layer faults, so an orchestrated census with a
+        lease-death plan still produces outcomes bit-identical to a
+        plan-free run.
+
+        Args:
+            shard_index: The leased shard.
+            generation: The lease generation (0 for the first grant; each
+                steal increments it).
+
+        Returns:
+            ``True`` if some ``worker_death`` spec fires for this lease.
+        """
+        return self.worker_death_fires(f"lease:{shard_index}", generation)
+
     def torn_write_after(self, shard_index: int, attempt: int) -> int | None:
         """How many records a torn shard write survives, if one is injected.
 

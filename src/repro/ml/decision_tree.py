@@ -107,6 +107,34 @@ class FlatTree:
     def n_nodes(self) -> int:
         return len(self.feature)
 
+    def rebuild_nodes(self) -> _Node:
+        """Reconstruct the linked ``_Node`` tree this layout was built from.
+
+        The preorder flatten is lossless (``leaf_class_counts`` keeps every
+        node's class histogram), so the rebuilt tree is fully equivalent to
+        the fitted original — including the reference ``predict_one`` walk.
+
+        Returns:
+            The root of the reconstructed node tree.
+
+        Raises:
+            ValueError: If the layout is empty (never produced by ``fit``).
+        """
+        if self.n_nodes == 0:
+            raise ValueError("cannot rebuild a tree from an empty FlatTree")
+        nodes = [_Node(prediction=int(self.prediction[i]),
+                       class_counts=np.asarray(self.leaf_class_counts[i],
+                                               dtype=np.int64),
+                       feature=(None if self.feature[i] < 0
+                                else int(self.feature[i])),
+                       threshold=float(self.threshold[i]))
+                 for i in range(self.n_nodes)]
+        for i, node in enumerate(nodes):
+            if node.feature is not None:
+                node.left = nodes[int(self.left[i])]
+                node.right = nodes[int(self.right[i])]
+        return nodes[0]
+
     def apply(self, features: np.ndarray) -> np.ndarray:
         """Leaf index reached by every row of ``features`` (vectorised)."""
         features = np.ascontiguousarray(features, dtype=np.float64)
@@ -147,6 +175,42 @@ class DecisionTreeClassifier:
     _root: _Node | None = field(default=None, init=False, repr=False)
     _flat: FlatTree | None = field(default=None, init=False, repr=False)
     _classes: list[str] = field(default_factory=list, init=False, repr=False)
+
+    @classmethod
+    def from_flat_tree(cls, flat: FlatTree, classes: list[str], *,
+                       max_features: int | None = None,
+                       min_samples_split: int = 2,
+                       max_depth: int | None = None) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from its flattened-array form.
+
+        This is the deserialisation path of the model-artifact layer
+        (:mod:`repro.serving.artifact`): the returned tree is fully fitted —
+        linked reference nodes included — without ever touching training
+        data, and predicts bit-identically to the tree ``flat`` came from.
+
+        Args:
+            flat: The :class:`FlatTree` of a previously fitted tree.
+            classes: The tree's class labels, in fitted (sorted) order.
+            max_features: The original ``max_features`` knob (metadata only;
+                prediction never consults it).
+            min_samples_split: The original ``min_samples_split`` knob.
+            max_depth: The original ``max_depth`` knob.
+
+        Returns:
+            A fitted :class:`DecisionTreeClassifier` equivalent to the
+            original.
+
+        Raises:
+            ValueError: If ``flat`` is empty or ``classes`` is empty.
+        """
+        if not classes:
+            raise ValueError("a fitted tree needs at least one class label")
+        tree = cls(max_features=max_features,
+                   min_samples_split=min_samples_split, max_depth=max_depth)
+        tree._root = flat.rebuild_nodes()
+        tree._flat = flat
+        tree._classes = [str(label) for label in classes]
+        return tree
 
     # ------------------------------------------------------------------ fit
     def fit(self, dataset: LabeledDataset) -> "DecisionTreeClassifier":

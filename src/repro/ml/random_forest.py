@@ -126,7 +126,8 @@ class _StackedForest:
         flat_samples = features.ravel()
         # The still-routing slots travel as compressed (slot, node, row) arrays;
         # slots are written back to ``state`` only when they reach their leaf.
-        state, active, active_base, current = self._batch_scaffold(n, n_features)
+        _, state, active, active_base, current, _ = self._batch_scaffold(
+            n, n_features)
         state = state.copy()
         while active.size:
             # Route with the same `<=` comparison as the reference node walk,
@@ -154,23 +155,26 @@ class _StackedForest:
 
         The cached arrays are read, never written: ``apply`` copies the state
         template before scattering leaves into it and rebinds (rather than
-        mutates) the compressed routing arrays.
+        mutates) the compressed routing arrays. The cache slot itself is read
+        into a local before validation, so concurrent classifying threads
+        (the serving layer's workers) can interleave safely — a thread that
+        loses the publication race simply rebuilds its own scaffold.
         """
-        if self._scaffold is None or self._scaffold[0] != (n, n_features):
+        scaffold = self._scaffold
+        if scaffold is None or scaffold[0] != (n, n_features):
             state = np.repeat(self.roots, n)
             row_base = np.tile(np.arange(0, n * n_features, n_features),
                                len(self.roots))
             active = np.nonzero(~self.is_leaf[state])[0]
             rows = np.tile(np.arange(n), len(self.roots))
-            self._scaffold = ((n, n_features), state, active,
-                              row_base[active], state[active], rows)
-        return self._scaffold[1:5]
+            scaffold = ((n, n_features), state, active,
+                        row_base[active], state[active], rows)
+            self._scaffold = scaffold
+        return scaffold
 
     def sample_rows(self, n: int, n_features: int) -> np.ndarray:
         """Sample-row index per (tree, sample) slot (cached with the scaffold)."""
-        self._batch_scaffold(n, n_features)
-        assert self._scaffold is not None
-        return self._scaffold[5]
+        return self._batch_scaffold(n, n_features)[5]
 
 
 @dataclass
@@ -187,6 +191,59 @@ class RandomForestClassifier:
     #: Per tree, the mapping from tree-local class index to forest class index.
     _tree_class_maps: list[np.ndarray] = field(default_factory=list, init=False, repr=False)
     _stacked: _StackedForest | None = field(default=None, init=False, repr=False)
+
+    @classmethod
+    def from_fitted_trees(cls, trees: list[DecisionTreeClassifier],
+                          classes: list[str], *,
+                          max_features: int = PAPER_MAX_FEATURES,
+                          min_samples_split: int = 2,
+                          max_depth: int | None = None,
+                          seed: int = 0) -> "RandomForestClassifier":
+        """Assemble a fitted forest from already-fitted member trees.
+
+        This is the deserialisation path of the model-artifact layer: the
+        trees come back from :meth:`DecisionTreeClassifier.from_flat_tree`
+        and the forest is reassembled around them without retraining. The
+        per-tree class maps are recomputed from each tree's own class list,
+        so the forest votes bit-identically to the one it was saved from.
+
+        Args:
+            trees: The fitted member trees, in original fitting order.
+            classes: The forest's class labels, in fitted (sorted) order.
+            max_features: The original ``max_features`` knob (metadata only).
+            min_samples_split: The original ``min_samples_split`` knob.
+            max_depth: The original ``max_depth`` knob.
+            seed: The original forest seed (metadata only).
+
+        Returns:
+            A fitted :class:`RandomForestClassifier` equivalent to the
+            original.
+
+        Raises:
+            ValueError: If ``trees`` is empty, or a tree knows a class label
+                the forest's class list does not contain.
+        """
+        if not trees:
+            raise ValueError("a forest needs at least one fitted tree")
+        forest = cls(n_trees=len(trees), max_features=max_features,
+                     min_samples_split=min_samples_split,
+                     max_depth=max_depth, seed=seed)
+        forest._classes = [str(label) for label in classes]
+        forest_index = {label: i for i, label in enumerate(forest._classes)}
+        maps = []
+        for position, tree in enumerate(trees):
+            try:
+                maps.append(np.array(
+                    [forest_index[label] for label in tree.classes()],
+                    dtype=np.intp))
+            except KeyError as error:
+                raise ValueError(
+                    f"tree {position} predicts class {error.args[0]!r}, "
+                    "which the forest's class list does not contain"
+                ) from error
+        forest._trees = list(trees)
+        forest._tree_class_maps = maps
+        return forest
 
     def fit(self, dataset: LabeledDataset) -> "RandomForestClassifier":
         """Grow the forest on bootstrap resamples of ``dataset``.

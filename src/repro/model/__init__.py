@@ -1,0 +1,10 @@
+"""``python -m repro.model`` — train, persist and inspect model artifacts.
+
+This package only hosts the module entry point; the implementation lives in
+:mod:`repro.cli.model` and the artifact format in
+:mod:`repro.serving.artifact`.
+"""
+
+from repro.cli.model import main
+
+__all__ = ["main"]

@@ -1,0 +1,8 @@
+"""Entry point of ``python -m repro.model``."""
+
+import sys
+
+from repro.cli.model import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""``python -m repro.serve`` — the long-running census-as-a-service loop.
+
+This package only hosts the module entry point; the implementation lives in
+:mod:`repro.cli.serve` and the serving machinery in :mod:`repro.serving`.
+"""
+
+from repro.cli.serve import main
+
+__all__ = ["main"]

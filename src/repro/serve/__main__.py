@@ -1,0 +1,8 @@
+"""Entry point of ``python -m repro.serve``."""
+
+import sys
+
+from repro.cli.serve import main
+
+if __name__ == "__main__":
+    sys.exit(main())

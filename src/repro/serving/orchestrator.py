@@ -1,0 +1,288 @@
+"""Work-stealing census orchestrator: concurrent workers drain a queue.
+
+:class:`CensusOrchestrator` generalises the census's fixed shard loop
+(:meth:`repro.core.census.CensusRunner._run_pending_shards`) into a pool of
+worker threads pulling shards from a persistent :class:`~repro.serving.queue.WorkQueue`.
+Each worker claims a lease, measures the shard through the runner's normal
+probe/classify pipeline, and commits the result into the existing JSONL
+checkpoint format — so resume, merge and every downstream consumer stay
+bit-identical to the monolithic and fixed-shard paths.
+
+Determinism under stealing: shard outcomes are a pure function of the census
+seed and the shard's population indices (per-server streams come from
+:func:`repro.parallel.task_seeds`), so a shard that is measured by worker A,
+abandoned when A dies, stolen by worker B and measured again produces the
+exact same bytes. The commit protocol makes the race harmless:
+
+1. the worker measures the shard *outside* any lock (the slow part);
+2. it takes the queue lock, re-checks its lease is still current, writes the
+   shard file + flips the manifest, and drops the lease;
+3. a stale holder (stolen lease) discards its outcomes; a
+   duplicate-completion :class:`~repro.core.checkpoint.CheckpointError`
+   from a lost write race is swallowed for the same reason — the winner
+   wrote identical bytes.
+
+Fault injection lives at the **lease** level: an orchestrator-level
+:class:`~repro.faults.plan.FaultPlan` with ``worker_death`` specs scoped
+``"lease:<shard>"`` kills a worker after it claimed the lease (before any
+probing), leaving the lease to expire and be stolen. The plan never touches
+the runner's config, so the census fingerprint and every probe stream are
+identical to a plan-free run — which is exactly what the crash/steal test
+matrix asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.census import CensusReport, CensusRunner
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    CensusCheckpoint,
+    CheckpointError,
+    shard_assignments,
+)
+from repro.web.population import ServerPopulation
+from repro.faults.plan import FaultPlan
+from repro.parallel import task_seeds
+from repro.serving.queue import DEFAULT_LEASE_TIMEOUT, Lease, WorkQueue
+
+
+class _LeaseDeath(Exception):
+    """Injected worker death while holding a lease (fault plan)."""
+
+
+@dataclass
+class WorkerStats:
+    """What one orchestrator worker did during a run.
+
+    Attributes:
+        worker: The worker's identifier (``"worker-N"``).
+        completed: Shards this worker measured and committed.
+        stolen: Shards this worker claimed by stealing an expired lease.
+        discarded: Shards measured but discarded because the lease was
+            stolen (or the write race lost) before commit.
+        died: Whether an injected lease death terminated the worker.
+    """
+
+    worker: str
+    completed: list[int] = field(default_factory=list)
+    stolen: list[int] = field(default_factory=list)
+    discarded: list[int] = field(default_factory=list)
+    died: bool = False
+
+
+class CensusOrchestrator:
+    """Drains a checkpoint's pending shards with work-stealing workers."""
+
+    def __init__(self, runner: CensusRunner, population: ServerPopulation,
+                 checkpoint_dir, *, num_shards: int = 8,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 settings: dict | None = None, clock=time.time,
+                 on_shard=None, fault_plan: FaultPlan | None = None,
+                 poll_interval: float = 0.05):
+        """Create or attach to a checkpoint and build its work queue.
+
+        Args:
+            runner: The census runner (trained classifier + config); its
+                seed keys shard assignment and every probe stream.
+            population: The server population the checkpoint covers.
+            checkpoint_dir: Checkpoint directory. A fresh one is created
+                when no manifest exists; an existing one is attached to
+                (after fingerprint verification) and its remaining shards
+                drained — interrupt → resume.
+            num_shards: Shard count for a fresh checkpoint (ignored when
+                attaching; the manifest's count wins).
+            lease_timeout: Seconds without a heartbeat before a worker's
+                lease is stolen.
+            settings: Free-form dict stored in a fresh manifest.
+            clock: Time source shared with the queue; tests inject a fake
+                clock to drive steals deterministically.
+            on_shard: Optional callback ``on_shard(shard_index, outcomes)``
+                invoked after each shard commits — the serving CLI streams
+                incremental results through it. Called with the queue lock
+                released.
+            fault_plan: Orchestrator-level fault plan; ``worker_death``
+                specs scoped ``"lease:<shard>"`` kill a worker right after
+                it claims that lease (see module docstring). Never touches
+                the runner's probe streams.
+            poll_interval: Seconds an idle worker sleeps between claim
+                attempts.
+
+        Raises:
+            repro.core.checkpoint.CheckpointError: If an existing
+                checkpoint's fingerprint does not match this runner +
+                population.
+        """
+        self._runner = runner
+        self._population = population
+        self._records = CensusRunner._records(population)
+        self._clock = clock
+        self._on_shard = on_shard
+        self._fault_plan = fault_plan
+        self._poll_interval = float(poll_interval)
+        fingerprint = runner._fingerprint(population)
+        if (Path(checkpoint_dir) / MANIFEST_NAME).exists():
+            # Attach: a corrupt or mismatched manifest fails loudly here.
+            self._checkpoint = CensusCheckpoint.open(checkpoint_dir)
+            self._checkpoint.verify_fingerprint(fingerprint)
+        else:
+            self._checkpoint = CensusCheckpoint.create(
+                checkpoint_dir, seed=runner.config.seed,
+                num_shards=num_shards, fingerprint=fingerprint,
+                population_size=len(self._records), settings=settings)
+        self._queue = WorkQueue(self._checkpoint,
+                                lease_timeout=lease_timeout, clock=clock)
+        self._assignments = shard_assignments(
+            [record.profile.server_id for record in self._records],
+            self._checkpoint.seed, self._checkpoint.num_shards)
+        self._seeds = task_seeds(runner.config.seed, len(self._records))
+        self._stats: dict[str, WorkerStats] = {}
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def checkpoint(self) -> CensusCheckpoint:
+        """The checkpoint the orchestrator commits shards into."""
+        return self._checkpoint
+
+    @property
+    def queue(self) -> WorkQueue:
+        """The work queue coordinating the workers."""
+        return self._queue
+
+    def worker_stats(self) -> list[WorkerStats]:
+        """Per-worker activity of the most recent :meth:`run`.
+
+        Returns:
+            One :class:`WorkerStats` per worker that participated, in
+            worker-name order.
+        """
+        with self._stats_lock:
+            return [self._stats[name] for name in sorted(self._stats)]
+
+    # ------------------------------------------------------------------- run
+    def run(self, *, workers: int = 2,
+            reclaim_stale: bool = True) -> CensusReport:
+        """Drain every pending shard with ``workers`` concurrent workers.
+
+        Workers claim leases, measure shards through the runner's pipeline
+        and commit them; a worker killed by the fault plan abandons its
+        lease, which expires and is stolen by a surviving worker (the
+        supervisor spawns a replacement when every worker died). Returns
+        once all shards are complete.
+
+        Args:
+            workers: Number of concurrent worker threads (>= 1).
+            reclaim_stale: Expire leases left behind by a previous process
+                immediately instead of waiting out the lease timeout.
+
+        Returns:
+            The merged :class:`~repro.core.census.CensusReport`,
+            bit-identical to a monolithic ``runner.run(population)``.
+
+        Raises:
+            ValueError: If ``workers`` < 1.
+            RuntimeError: If a round of workers exits with shards still
+                pending and no progress made (should be unreachable: leases
+                expire, so work is always eventually claimable).
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        with self._stats_lock:
+            self._stats = {}
+        if reclaim_stale:
+            self._queue.reclaim_stale()
+        spawned = 0
+        while self._checkpoint.pending_shards():
+            before = len(self._checkpoint.completed_shards())
+            threads = []
+            for _ in range(workers):
+                name = f"worker-{spawned}"
+                spawned += 1
+                stats = WorkerStats(worker=name)
+                with self._stats_lock:
+                    self._stats[name] = stats
+                thread = threading.Thread(target=self._worker_loop,
+                                          args=(stats,), name=name,
+                                          daemon=True)
+                threads.append(thread)
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            progress = len(self._checkpoint.completed_shards()) - before
+            deaths = any(self._stats[t.name].died for t in threads)
+            if self._checkpoint.pending_shards() and not progress and not deaths:
+                raise RuntimeError(
+                    "orchestrator stalled: workers exited with shards "
+                    f"{self._checkpoint.pending_shards()} still pending and "
+                    "no progress made")
+        return self._checkpoint.merge_report(
+            expected_size=len(self._records))
+
+    # ------------------------------------------------------------- internals
+    def _worker_loop(self, stats: WorkerStats) -> None:
+        """Claim-measure-commit until no pending work remains (one worker)."""
+        idle_since = None
+        idle_limit = max(2.0 * self._queue.lease_timeout, 1.0)
+        while True:
+            if not self._checkpoint.pending_shards():
+                return
+            lease = self._queue.claim(stats.worker)
+            if lease is None:
+                # Everything pending is leased to someone else; linger long
+                # enough to steal from a dead holder, then give up.
+                now = self._clock()
+                idle_since = now if idle_since is None else idle_since
+                if now - idle_since >= idle_limit:
+                    return
+                time.sleep(self._poll_interval)
+                continue
+            idle_since = None
+            if lease.stolen:
+                stats.stolen.append(lease.shard)
+            try:
+                self._work_one(lease, stats)
+            except _LeaseDeath:
+                # The injected death abandons the lease: no release, no
+                # heartbeat — it expires and a surviving worker steals it.
+                stats.died = True
+                return
+
+    def _work_one(self, lease: Lease, stats: WorkerStats) -> None:
+        """Measure one leased shard and commit it if the lease held."""
+        if (self._fault_plan is not None
+                and self._fault_plan.lease_death_fires(lease.shard,
+                                                       lease.generation)):
+            raise _LeaseDeath(f"injected death holding lease on shard "
+                              f"{lease.shard} (generation {lease.generation})")
+        indices = self._assignments[lease.shard]
+        outcomes = self._runner.measure_indices(self._records, indices,
+                                                seeds=self._seeds)
+        if not self._queue.heartbeat(lease):
+            stats.discarded.append(lease.shard)
+            return
+        committed = False
+        with self._queue.locked():
+            if not self._queue.is_current(lease):
+                stats.discarded.append(lease.shard)
+                return
+            try:
+                self._checkpoint.write_shard(lease.shard,
+                                             list(zip(indices, outcomes)))
+            except CheckpointError:
+                # Lost a write race despite the lease check (e.g. another
+                # process sharing the directory). The winner wrote identical
+                # bytes, so losing is harmless.
+                stats.discarded.append(lease.shard)
+            else:
+                committed = True
+                stats.completed.append(lease.shard)
+            finally:
+                self._queue.finish(lease)
+        if committed and self._on_shard is not None:
+            self._on_shard(lease.shard, outcomes)

@@ -1,0 +1,336 @@
+"""A persistent work queue with lease / heartbeat / steal semantics.
+
+PR 4's sharded census assigns every shard to whichever single invocation is
+running; the serving layer generalises that into a **work queue**: any number
+of workers *claim* pending shards, *heartbeat* while working on them, and
+*steal* shards whose holder stopped heartbeating (a crashed or wedged
+worker). The queue never owns results — shard completion lives in the
+checkpoint manifest (:class:`~repro.core.checkpoint.CensusCheckpoint`),
+which stays the single source of truth — so the queue can be lost, rebuilt
+or steal aggressively without ever corrupting a census.
+
+Lease algebra:
+
+* a *lease* on shard ``s`` is ``(worker, generation)``; ``generation``
+  counts how many times the shard's lease has been granted (a steal bumps
+  it);
+* a lease is *expired* once ``now - heartbeat_at >= lease_timeout``;
+  claiming an expired lease is a steal: the old holder's generation becomes
+  stale, so its later ``heartbeat``/``release`` calls report the loss
+  instead of resurrecting the lease;
+* completion is decided at commit time by the orchestrator while holding
+  the queue's lock, so exactly one holder can mark a shard complete, and a
+  stale holder's work is discarded — harmlessly, because shard outcomes are
+  a pure function of (census seed, shard indices) and the stolen replay is
+  bit-identical.
+
+The queue state is persisted as ``queue.json`` next to the checkpoint
+manifest after every mutation (atomic write + rename), so an interrupted
+serving process leaves its leases on disk: a restart sees them, waits out
+the lease timeout (or is told to reclaim), steals, and resumes — merging
+bit-identically to a run that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.checkpoint import CensusCheckpoint, write_json_atomic
+
+#: Queue state file, stored inside the checkpoint directory.
+QUEUE_NAME = "queue.json"
+
+#: On-disk queue format version; bumped on any incompatible change.
+QUEUE_FORMAT_VERSION = 1
+
+#: Default seconds without a heartbeat before a lease may be stolen.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+class WorkQueueError(RuntimeError):
+    """The queue state file is corrupt or from an incompatible version.
+
+    Attributes:
+        path: The offending file (``None`` when not file-specific).
+        hint: One-line recovery suggestion.
+    """
+
+    def __init__(self, message: str, *, path: str | Path | None = None,
+                 hint: str | None = None):
+        """Build the error with optional structured context.
+
+        Args:
+            message: The full human-readable description.
+            path: The offending file, when one is identifiable.
+            hint: One-line recovery suggestion.
+        """
+        super().__init__(message)
+        self.path = Path(path) if path is not None else None
+        self.hint = hint
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one shard.
+
+    Attributes:
+        shard: The claimed shard index.
+        worker: The claiming worker's identifier.
+        generation: How many grants this shard's lease has seen (steals
+            bump it); a lease is *current* only while its generation matches
+            the queue's.
+        stolen: Whether this grant stole an expired lease.
+    """
+
+    shard: int
+    worker: str
+    generation: int
+    stolen: bool = False
+
+
+class WorkQueue:
+    """Lease/heartbeat/steal bookkeeping over a checkpoint's pending shards.
+
+    Thread-safe: every operation holds one re-entrant lock, which the
+    orchestrator also borrows (via :meth:`locked`) to make
+    check-currency-then-write-shard commits atomic against concurrent
+    stealing workers.
+    """
+
+    def __init__(self, checkpoint: CensusCheckpoint, *,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 clock=time.time):
+        """Attach a queue to a checkpoint, loading persisted lease state.
+
+        Args:
+            checkpoint: The checkpoint whose pending shards are the work
+                items; its manifest remains the single source of truth for
+                completion.
+            lease_timeout: Seconds without a heartbeat before a lease is
+                stealable.
+            clock: Callable returning the current time in seconds; wall
+                clock by default so timestamps are comparable across
+                processes. Tests inject a fake clock to drive steals
+                deterministically.
+
+        Raises:
+            WorkQueueError: If a persisted ``queue.json`` exists but is
+                unreadable or of an incompatible format version.
+            ValueError: If ``lease_timeout`` is not positive.
+        """
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self._checkpoint = checkpoint
+        self._lease_timeout = float(lease_timeout)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = self._load_state()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def path(self) -> Path:
+        """Where the queue state is persisted (inside the checkpoint dir)."""
+        return self._checkpoint.directory / QUEUE_NAME
+
+    @property
+    def lease_timeout(self) -> float:
+        """Seconds without a heartbeat before a lease is stealable."""
+        return self._lease_timeout
+
+    def locked(self) -> threading.RLock:
+        """The queue's lock, for callers composing atomic commit sequences.
+
+        Returns:
+            The re-entrant lock guarding all queue state.
+        """
+        return self._lock
+
+    # ------------------------------------------------------------ operations
+    def claim(self, worker_id: str) -> Lease | None:
+        """Claim the lowest-numbered claimable pending shard.
+
+        A shard is claimable when it is pending in the manifest and either
+        unleased, voluntarily released, or holds an expired lease (which is
+        then stolen: the generation bumps, invalidating the old holder).
+
+        Args:
+            worker_id: The claiming worker's identifier.
+
+        Returns:
+            The granted :class:`Lease`, or ``None`` when nothing is
+            claimable right now (all pending shards hold live leases).
+        """
+        with self._lock:
+            now = float(self._clock())
+            for shard in self._checkpoint.pending_shards():
+                entry = self._state["leases"].get(str(shard))
+                if entry is None:
+                    lease = self._grant(shard, worker_id, generation=0,
+                                        stolen=False, now=now)
+                    return lease
+                if now - float(entry["heartbeat_at"]) >= self._lease_timeout:
+                    lease = self._grant(shard, worker_id,
+                                        generation=int(entry["generation"]) + 1,
+                                        stolen=True, now=now)
+                    return lease
+            return None
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Refresh a lease's heartbeat.
+
+        Args:
+            lease: The lease to refresh.
+
+        Returns:
+            ``True`` if the lease is still current (heartbeat recorded);
+            ``False`` if it was stolen or its shard completed — the worker
+            should abandon the shard.
+        """
+        with self._lock:
+            if not self.is_current(lease):
+                return False
+            entry = self._state["leases"][str(lease.shard)]
+            entry["heartbeat_at"] = float(self._clock())
+            self._persist()
+            return True
+
+    def is_current(self, lease: Lease) -> bool:
+        """Whether a lease still entitles its holder to commit the shard.
+
+        Args:
+            lease: The lease to check.
+
+        Returns:
+            ``True`` while the shard is pending and the queue's lease entry
+            still carries this lease's worker and generation.
+        """
+        with self._lock:
+            if self._checkpoint.shard_status(lease.shard) != "pending":
+                return False
+            entry = self._state["leases"].get(str(lease.shard))
+            return (entry is not None
+                    and entry["worker"] == lease.worker
+                    and int(entry["generation"]) == lease.generation)
+
+    def release(self, lease: Lease) -> bool:
+        """Voluntarily give a lease back (the shard becomes claimable).
+
+        Args:
+            lease: The lease to release.
+
+        Returns:
+            ``True`` if the lease was current and is now released;
+            ``False`` if it had already been stolen (nothing to do).
+        """
+        with self._lock:
+            if not self.is_current(lease):
+                return False
+            del self._state["leases"][str(lease.shard)]
+            self._persist()
+            return True
+
+    def finish(self, lease: Lease) -> bool:
+        """Drop a completed shard's lease entry (commit bookkeeping).
+
+        Called by the orchestrator *after* the shard file is durably
+        written, inside a :meth:`locked` section that also performed the
+        currency check — so only the single winning holder gets here.
+
+        Args:
+            lease: The lease whose shard was just committed.
+
+        Returns:
+            ``True`` if a lease entry was dropped.
+        """
+        with self._lock:
+            entry = self._state["leases"].pop(str(lease.shard), None)
+            self._persist()
+            return entry is not None
+
+    def reclaim_stale(self) -> list[int]:
+        """Expire every persisted lease immediately (restart recovery).
+
+        A serving process that restarts over an existing checkpoint knows
+        no other process is working the queue, so waiting out the lease
+        timeout for leases its previous incarnation left behind is pure
+        dead time. This marks them all as expired; the next ``claim`` of
+        each shard is recorded as a steal.
+
+        Returns:
+            The shard indices whose leases were force-expired.
+        """
+        with self._lock:
+            now = float(self._clock())
+            stale = []
+            for key, entry in self._state["leases"].items():
+                entry["heartbeat_at"] = now - self._lease_timeout
+                stale.append(int(key))
+            if stale:
+                self._persist()
+            return sorted(stale)
+
+    def snapshot(self) -> dict:
+        """Machine-readable queue status (leases, timeouts, pending work).
+
+        Returns:
+            A dict with the pending shards, the live lease table and the
+            lease timeout.
+        """
+        with self._lock:
+            return {
+                "lease_timeout": self._lease_timeout,
+                "pending_shards": self._checkpoint.pending_shards(),
+                "leases": {int(k): dict(v)
+                           for k, v in self._state["leases"].items()},
+            }
+
+    # ------------------------------------------------------------- internals
+    def _grant(self, shard: int, worker_id: str, *, generation: int,
+               stolen: bool, now: float) -> Lease:
+        self._state["leases"][str(shard)] = {
+            "worker": worker_id,
+            "generation": generation,
+            "acquired_at": now,
+            "heartbeat_at": now,
+        }
+        self._persist()
+        return Lease(shard=shard, worker=worker_id, generation=generation,
+                     stolen=stolen)
+
+    def _persist(self) -> None:
+        write_json_atomic(self.path, self._state)
+
+    def _load_state(self) -> dict:
+        path = self.path
+        if not path.exists():
+            return {"format": QUEUE_FORMAT_VERSION, "leases": {}}
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise WorkQueueError(
+                f"work-queue state {path} is not valid JSON ({error}); "
+                "delete the file — the checkpoint manifest is authoritative "
+                "and the queue rebuilds from it",
+                path=path,
+                hint="delete queue.json; the manifest is authoritative"
+            ) from error
+        if state.get("format") != QUEUE_FORMAT_VERSION:
+            raise WorkQueueError(
+                f"work-queue state {path} has format version "
+                f"{state.get('format')!r}, this code reads version "
+                f"{QUEUE_FORMAT_VERSION}; delete the file — the checkpoint "
+                "manifest is authoritative and the queue rebuilds from it",
+                path=path,
+                hint="delete queue.json; the manifest is authoritative")
+        if not isinstance(state.get("leases"), dict):
+            raise WorkQueueError(
+                f"work-queue state {path} has no lease table; delete the "
+                "file — the checkpoint manifest is authoritative and the "
+                "queue rebuilds from it",
+                path=path,
+                hint="delete queue.json; the manifest is authoritative")
+        return state

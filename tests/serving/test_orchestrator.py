@@ -1,0 +1,213 @@
+"""Crash/steal matrix of the work-stealing census orchestrator.
+
+Every cell asserts the strongest possible property: the merged report is
+**byte-identical** (``report_blob``) to the monolithic run and to the
+fixed-shard run — under concurrent workers, injected worker death, lease
+stealing, stale-holder discards and interrupt → resume. The determinism
+contract (shard outcomes are a pure function of census seed + population
+indices) is what makes the assertion achievable at all.
+"""
+
+import json
+
+import pytest
+
+from repro.core.census import CensusConfig, CensusRunner
+from repro.core.checkpoint import CheckpointError
+from repro.faults import FaultPlan, FaultSpec
+from repro.serving.orchestrator import CensusOrchestrator
+from repro.web.population import PopulationConfig, ServerPopulation
+
+NUM_SHARDS = 4
+SEED = 33
+
+
+def fresh_population():
+    population = ServerPopulation(PopulationConfig(size=12, seed=77))
+    population.generate()
+    return population
+
+
+def make_runner(trained_classifier, backend="serial"):
+    return CensusRunner(trained_classifier,
+                        CensusConfig(seed=SEED, backend=backend,
+                                     max_workers=2))
+
+
+def report_blob(report):
+    return json.dumps([outcome.to_json_dict() for outcome in report.outcomes],
+                      sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def monolithic_blob(trained_classifier):
+    """Reference: the plain single-process census."""
+    runner = make_runner(trained_classifier)
+    return report_blob(runner.run(fresh_population()))
+
+
+@pytest.fixture(scope="module")
+def fixed_shard_blob(trained_classifier, tmp_path_factory):
+    """Reference: the PR-4 fixed-shard checkpointed census."""
+    runner = make_runner(trained_classifier)
+    directory = tmp_path_factory.mktemp("fixed") / "ckpt"
+    report = runner.run_sharded(fresh_population(), directory,
+                                num_shards=NUM_SHARDS)
+    return report_blob(report)
+
+
+class TestParity:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_concurrent_workers_match_both_references(
+            self, trained_classifier, monolithic_blob, fixed_shard_blob,
+            tmp_path, backend):
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier, backend=backend),
+            fresh_population(), tmp_path / "ckpt", num_shards=NUM_SHARDS)
+        blob = report_blob(orchestrator.run(workers=2))
+        assert blob == monolithic_blob
+        assert blob == fixed_shard_blob
+
+    def test_single_worker_drains_everything(self, trained_classifier,
+                                             monolithic_blob, tmp_path):
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS)
+        report = orchestrator.run(workers=1)
+        assert report_blob(report) == monolithic_blob
+        stats = orchestrator.worker_stats()
+        assert sorted(s for stat in stats for s in stat.completed) == list(
+            range(NUM_SHARDS))
+
+    def test_on_shard_streams_every_committed_shard(self, trained_classifier,
+                                                    tmp_path):
+        streamed = {}
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS,
+            on_shard=lambda shard, outcomes: streamed.__setitem__(
+                shard, len(outcomes)))
+        report = orchestrator.run(workers=2)
+        assert sorted(streamed) == list(range(NUM_SHARDS))
+        assert sum(streamed.values()) == len(report.outcomes)
+
+
+class TestCrashAndSteal:
+    def test_worker_death_mid_lease_is_stolen_and_replayed(
+            self, trained_classifier, monolithic_blob, tmp_path):
+        """The acceptance scenario: a worker dies holding a lease; the shard
+        is stolen, replayed, and the merged report is byte-identical."""
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(kind="worker_death", scope="lease:1", probability=1.0,
+                      persist_attempts=1),))
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS, lease_timeout=0.3,
+            fault_plan=plan)
+        report = orchestrator.run(workers=2)
+        assert report_blob(report) == monolithic_blob
+        stats = orchestrator.worker_stats()
+        assert any(stat.died for stat in stats)
+        assert any(1 in stat.stolen for stat in stats)
+        # The steal bumped the generation, so the fault (persist_attempts=1)
+        # spared the thief and the shard committed exactly once.
+        assert sum(stat.completed.count(1) for stat in stats) == 1
+
+    def test_every_shard_death_still_converges(self, trained_classifier,
+                                               monolithic_blob, tmp_path):
+        """Kill the first holder of *every* shard; all four must be stolen."""
+        plan = FaultPlan(seed=5, specs=tuple(
+            FaultSpec(kind="worker_death", scope=f"lease:{shard}",
+                      probability=1.0, persist_attempts=1)
+            for shard in range(NUM_SHARDS)))
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS, lease_timeout=0.3,
+            fault_plan=plan)
+        report = orchestrator.run(workers=2)
+        assert report_blob(report) == monolithic_blob
+        stats = orchestrator.worker_stats()
+        assert sorted(s for stat in stats for s in stat.stolen) == list(
+            range(NUM_SHARDS))
+
+    def test_stale_holder_discards_its_outcomes(self, trained_classifier,
+                                                monolithic_blob, tmp_path):
+        """Duplicate lease completion: two holders measure the same shard;
+        only the current one commits, the stale one discards — harmlessly,
+        because both measured identical bytes."""
+        clock = {"now": 1000.0}
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS, lease_timeout=5.0,
+            clock=lambda: clock["now"])
+        queue = orchestrator.queue
+        victim = queue.claim("victim")
+        clock["now"] += 5.0  # victim's lease expires un-heartbeaten
+        thief = queue.claim("thief")
+        assert thief.shard == victim.shard and thief.stolen
+        from repro.serving.orchestrator import WorkerStats
+        victim_stats = WorkerStats(worker="victim")
+        thief_stats = WorkerStats(worker="thief")
+        orchestrator._work_one(victim, victim_stats)   # measures, then bails
+        orchestrator._work_one(thief, thief_stats)     # commits
+        assert victim_stats.discarded == [victim.shard]
+        assert thief_stats.completed == [thief.shard]
+        report = orchestrator.run(workers=2)  # drain the remaining shards
+        assert report_blob(report) == monolithic_blob
+
+    def test_interrupted_fixed_shard_run_resumes_via_orchestrator(
+            self, trained_classifier, monolithic_blob, fixed_shard_blob,
+            tmp_path):
+        """Interrupt → resume across *implementations*: a fixed-shard run
+        killed between shards is finished by the work-stealing orchestrator
+        over the same checkpoint, merging byte-identically."""
+        directory = tmp_path / "ckpt"
+        runner = make_runner(trained_classifier)
+        assert runner.run_sharded(fresh_population(), directory,
+                                  num_shards=NUM_SHARDS,
+                                  stop_after_shards=2) is None
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(), directory)
+        blob = report_blob(orchestrator.run(workers=2))
+        assert blob == monolithic_blob
+        assert blob == fixed_shard_blob
+        # Only the shards the interrupted run left pending were re-measured.
+        completed = [s for stat in orchestrator.worker_stats()
+                     for s in stat.completed]
+        assert len(completed) == NUM_SHARDS - 2
+
+    def test_interrupted_orchestrator_resumes_via_fixed_shard(
+            self, trained_classifier, monolithic_blob, tmp_path):
+        """And the reverse direction: an orchestrator that only got through
+        part of the queue hands the checkpoint back to ``resume``."""
+        directory = tmp_path / "ckpt"
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(), directory,
+            num_shards=NUM_SHARDS)
+        # Simulate an interrupt: commit two shards by hand, leave the rest.
+        from repro.serving.orchestrator import WorkerStats
+        for _ in range(2):
+            lease = orchestrator.queue.claim("partial")
+            orchestrator._work_one(lease, WorkerStats(worker="partial"))
+        runner = make_runner(trained_classifier)
+        merged = runner.resume(fresh_population(), directory)
+        assert report_blob(merged) == monolithic_blob
+
+    def test_fingerprint_mismatch_fails_loudly(self, trained_classifier,
+                                               tmp_path):
+        directory = tmp_path / "ckpt"
+        CensusOrchestrator(make_runner(trained_classifier),
+                           fresh_population(), directory,
+                           num_shards=NUM_SHARDS)
+        other = ServerPopulation(PopulationConfig(size=12, seed=78))
+        other.generate()
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            CensusOrchestrator(make_runner(trained_classifier), other,
+                               directory)
+
+    def test_rejects_zero_workers(self, trained_classifier, tmp_path):
+        orchestrator = CensusOrchestrator(
+            make_runner(trained_classifier), fresh_population(),
+            tmp_path / "ckpt", num_shards=NUM_SHARDS)
+        with pytest.raises(ValueError, match="workers"):
+            orchestrator.run(workers=0)

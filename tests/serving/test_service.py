@@ -1,0 +1,64 @@
+"""Tests of the batched classification service over persisted artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import classifier_fingerprint
+from repro.core.classifier import CaaiClassifier
+from repro.serving.artifact import ModelArtifactError, save_model
+from repro.serving.service import CensusService
+
+
+@pytest.fixture(scope="module")
+def artifact(trained_classifier, tmp_path_factory):
+    path = tmp_path_factory.mktemp("svc") / "model.caai"
+    save_model(trained_classifier, path)
+    return path
+
+
+class TestCensusService:
+    def test_rejects_an_untrained_classifier(self):
+        with pytest.raises(ValueError, match="trained"):
+            CensusService(CaaiClassifier(n_trees=3))
+
+    def test_from_artifact_attaches_provenance(self, trained_classifier,
+                                               artifact):
+        service = CensusService.from_artifact(artifact)
+        assert service.source == {
+            "artifact": str(artifact),
+            "fingerprint": classifier_fingerprint(trained_classifier),
+        }
+        assert service.load_seconds > 0
+        assert service.classifier.is_trained
+
+    def test_classify_batch_matches_the_census_pipeline(
+            self, trained_classifier, artifact):
+        """Artifact-served answers are identical to direct classification."""
+        service = CensusService.from_artifact(artifact)
+        vectors = np.random.default_rng(17).normal(size=(30, 7))
+        served = service.classify_batch(vectors, 64)
+        direct = trained_classifier.classify_vectors(vectors, 64)
+        assert [(s.label, s.confidence, s.unsure) for s in served] \
+            == [(d.label, d.confidence, d.unsure) for d in direct]
+
+    def test_per_vector_w_timeouts(self, trained_classifier, artifact):
+        service = CensusService.from_artifact(artifact)
+        vectors = np.random.default_rng(19).normal(size=(4, 7))
+        w_timeouts = [64, 128, 256, 64]
+        served = service.classify_batch(vectors, w_timeouts)
+        assert [s.w_timeout for s in served] == w_timeouts
+
+    def test_payload_carries_schema_and_source(self, artifact):
+        service = CensusService.from_artifact(artifact)
+        vectors = np.random.default_rng(23).normal(size=(3, 7))
+        payload = service.classify_batch_payload(vectors, 64)
+        assert payload["schema"]["name"] == "caai-classify-batch"
+        assert payload["count"] == 3
+        assert payload["source"] == service.source
+
+    def test_corrupt_artifact_surfaces_the_structured_error(self, tmp_path):
+        missing = tmp_path / "absent.caai"
+        with pytest.raises(ModelArtifactError) as excinfo:
+            CensusService.from_artifact(missing)
+        assert excinfo.value.path == missing
+        assert excinfo.value.hint
